@@ -1,0 +1,55 @@
+// §6 ablation: issue-width sensitivity.
+//
+// The paper argues the SPU fits architectures that avoid dynamic
+// scheduling (most DSPs are statically scheduled, often narrower than the
+// Pentium's two pipes). On a single-issue machine every deleted
+// permutation instruction is a whole cycle, so the SPU's benefit should
+// *grow* when dual issue is disabled — this bench quantifies that.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace subword;
+using namespace subword::bench;
+
+int main() {
+  std::printf(
+      "Ablation — SPU speedup vs machine issue width (config A, manual "
+      "variants)\n\n");
+  prof::Table t({"Algorithm", "dual-issue speedup", "single-issue speedup",
+                 "dual-issue IPC (base)", "single-issue cycles x"});
+  for (const auto& k : kernels::all_kernels()) {
+    const int repeats = default_repeats(k->name()) / 4 + 1;
+    auto run_pair = [&](bool dual) {
+      sim::PipelineConfig pc;
+      pc.dual_issue = dual;
+      const auto base = kernels::run_baseline(*k, repeats, pc);
+      const auto spu = kernels::run_spu(*k, repeats, core::kConfigA,
+                                        kernels::SpuMode::Manual, pc);
+      check(base.verified && spu.verified, k->name());
+      return std::make_pair(base.stats, spu.stats);
+    };
+    const auto [base2, spu2] = run_pair(true);
+    const auto [base1, spu1] = run_pair(false);
+    const double s2 = (static_cast<double>(base2.cycles) /
+                           static_cast<double>(spu2.cycles) -
+                       1.0) *
+                      100.0;
+    const double s1 = (static_cast<double>(base1.cycles) /
+                           static_cast<double>(spu1.cycles) -
+                       1.0) *
+                      100.0;
+    t.add_row({k->name(), prof::fixed(s2, 1) + "%",
+               prof::fixed(s1, 1) + "%", prof::fixed(base2.ipc(), 2),
+               prof::fixed(static_cast<double>(base1.cycles) /
+                               static_cast<double>(base2.cycles),
+                           2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Reading: without a second pipe to hide alignment work in, removed "
+      "permutations\nconvert one-for-one into saved cycles — the SPU "
+      "case is *stronger* on the\nstatically scheduled single-issue "
+      "machines most DSPs resemble (paper §6).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// §5.1.1 ablation: "If a single extra cycle penalty is added for each
+// branch mis-predict, our results are essentially the same due to the low
+// frequency of branch mis-predictions for media algorithms."
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace subword;
+using namespace subword::bench;
+
+int main() {
+  std::printf(
+      "Ablation — extra pipeline stage / mispredict penalty sensitivity\n"
+      "(baseline MMX cycles as the penalty grows; the SPU column always "
+      "includes its\nextra stage)\n\n");
+  prof::Table t({"Algorithm", "penalty 4", "penalty 5", "penalty 8",
+                 "delta 4->5", "SPU speedup @4", "SPU speedup @8"});
+  for (const auto& k : kernels::all_kernels()) {
+    const int repeats = default_repeats(k->name()) / 2 + 1;
+    auto run_with = [&](int penalty) {
+      sim::PipelineConfig pc;
+      pc.mispredict_penalty = penalty;
+      return kernels::run_baseline(*k, repeats, pc);
+    };
+    const auto p4 = run_with(4);
+    const auto p5 = run_with(5);
+    const auto p8 = run_with(8);
+    check(p4.verified && p5.verified && p8.verified, k->name());
+
+    auto spu_with = [&](int penalty) {
+      sim::PipelineConfig pc;
+      pc.mispredict_penalty = penalty;
+      return kernels::run_spu(*k, repeats, core::kConfigA,
+                              kernels::SpuMode::Manual, pc);
+    };
+    const auto s4 = spu_with(4);
+    const auto s8 = spu_with(8);
+
+    const double delta =
+        (static_cast<double>(p5.stats.cycles) /
+             static_cast<double>(p4.stats.cycles) -
+         1.0) *
+        100.0;
+    t.add_row(
+        {k->name(), prof::sci(static_cast<double>(p4.stats.cycles)),
+         prof::sci(static_cast<double>(p5.stats.cycles)),
+         prof::sci(static_cast<double>(p8.stats.cycles)),
+         prof::fixed(delta, 3) + "%",
+         prof::fixed((static_cast<double>(p4.stats.cycles) /
+                          static_cast<double>(s4.stats.cycles) -
+                      1.0) *
+                         100.0,
+                     1) +
+             "%",
+         prof::fixed((static_cast<double>(p8.stats.cycles) /
+                          static_cast<double>(s8.stats.cycles) -
+                      1.0) *
+                         100.0,
+                     1) +
+             "%"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Paper claim: one extra mispredict cycle changes results "
+      "negligibly — the\n'delta 4->5' column should be well under 1%% "
+      "for every kernel, and the SPU\nspeedup should be stable across "
+      "penalty settings.\n");
+  return 0;
+}

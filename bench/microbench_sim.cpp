@@ -1,0 +1,45 @@
+// google-benchmark microbenches: simulator throughput (simulated
+// instructions per host second) on representative kernels, with and
+// without the SPU router installed.
+#include <benchmark/benchmark.h>
+
+#include "kernels/registry.h"
+#include "kernels/runner.h"
+
+using namespace subword;
+
+namespace {
+
+void bench_kernel_baseline(benchmark::State& state,
+                           const std::string& name) {
+  const auto k = kernels::make_kernel(name);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    const auto run = kernels::run_baseline(*k, 1);
+    instructions += run.stats.instructions;
+    benchmark::DoNotOptimize(run.stats.cycles);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(instructions));
+  state.SetLabel("simulated instructions/s in items/s");
+}
+
+void bench_kernel_spu(benchmark::State& state, const std::string& name) {
+  const auto k = kernels::make_kernel(name);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    const auto run = kernels::run_spu(*k, 1, core::kConfigA,
+                                      kernels::SpuMode::Manual);
+    instructions += run.stats.instructions;
+    benchmark::DoNotOptimize(run.stats.cycles);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(instructions));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_kernel_baseline, fir12, "FIR12");
+BENCHMARK_CAPTURE(bench_kernel_baseline, transpose, "Matrix Transpose");
+BENCHMARK_CAPTURE(bench_kernel_baseline, fft128, "FFT128");
+BENCHMARK_CAPTURE(bench_kernel_spu, fir12, "FIR12");
+BENCHMARK_CAPTURE(bench_kernel_spu, transpose, "Matrix Transpose");
+BENCHMARK_CAPTURE(bench_kernel_spu, fft128, "FFT128");

@@ -1,0 +1,50 @@
+// google-benchmark microbenches: portable bit-trick backend vs SSE2
+// intrinsics backend for the hot SWAR operations.
+#include <benchmark/benchmark.h>
+
+#include "ref/workload.h"
+#include "swar/swar.h"
+
+namespace sw = subword::swar;
+using sw::Vec64;
+
+namespace {
+
+std::vector<Vec64> make_data(size_t n, uint64_t seed) {
+  subword::ref::Rng rng(seed);
+  std::vector<Vec64> v(n);
+  for (auto& x : v) x = Vec64{rng.next()};
+  return v;
+}
+
+template <Vec64 (*Fn)(Vec64, Vec64)>
+void bench_binop(benchmark::State& state) {
+  const auto a = make_data(1024, 1);
+  const auto b = make_data(1024, 2);
+  for (auto _ : state) {
+    Vec64 acc{};
+    for (size_t i = 0; i < a.size(); ++i) {
+      acc = Vec64{acc.bits() ^ Fn(a[i], b[i]).bits()};
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+
+}  // namespace
+
+BENCHMARK(bench_binop<sw::portable::add<uint8_t>>)->Name("paddb/portable");
+BENCHMARK(bench_binop<sw::sse2::add<uint8_t>>)->Name("paddb/sse2");
+BENCHMARK(bench_binop<sw::portable::add<uint16_t>>)->Name("paddw/portable");
+BENCHMARK(bench_binop<sw::sse2::add<uint16_t>>)->Name("paddw/sse2");
+BENCHMARK(bench_binop<sw::portable::add_sat<int16_t>>)
+    ->Name("paddsw/portable");
+BENCHMARK(bench_binop<sw::sse2::add_sat<int16_t>>)->Name("paddsw/sse2");
+BENCHMARK(bench_binop<sw::portable::maddwd>)->Name("pmaddwd/portable");
+BENCHMARK(bench_binop<sw::sse2::maddwd>)->Name("pmaddwd/sse2");
+BENCHMARK(bench_binop<sw::portable::pack_sswb>)->Name("packsswb/portable");
+BENCHMARK(bench_binop<sw::sse2::pack_sswb>)->Name("packsswb/sse2");
+BENCHMARK(bench_binop<sw::portable::unpack_lo<uint16_t>>)
+    ->Name("punpcklwd/portable");
+BENCHMARK(bench_binop<sw::sse2::unpack_lo<uint16_t>>)
+    ->Name("punpcklwd/sse2");

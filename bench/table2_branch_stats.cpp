@@ -1,0 +1,37 @@
+// Table 2 reproduction: branch statistics for the media kernels — the
+// evidence that an extra SPU pipeline stage barely costs anything.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace subword;
+using namespace subword::bench;
+
+int main() {
+  std::printf(
+      "Table 2 — Branch statistics for the media algorithms on the MMX\n"
+      "(raw simulated counts plus counts scaled to the paper's clock "
+      "magnitudes)\n\n");
+  prof::Table t({"Media Algorithm", "Clocks Executed", "Branches",
+                 "Missed Branches", "Missed %", "Benchmark Description"});
+  for (const auto& k : kernels::all_kernels()) {
+    const int repeats = default_repeats(k->name());
+    const auto run = kernels::run_baseline(*k, repeats);
+    check(run.verified, k->name());
+    const double scale =
+        paper_clocks(k->name()) / static_cast<double>(run.stats.cycles);
+    t.add_row({k->name(),
+               prof::sci(static_cast<double>(run.stats.cycles) * scale),
+               prof::sci(static_cast<double>(run.stats.branches) * scale),
+               prof::sci(static_cast<double>(run.stats.branch_mispredicts) *
+                         scale),
+               prof::pct(run.stats.mispredict_rate(), 3),
+               k->description()});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Paper claim: missed-branch rates are well below 1%% for all media "
+      "kernels, so\nlengthening the pipeline by one SPU stage does not "
+      "hurt (see also the\nablation_pipeline_depth bench).\n");
+  return 0;
+}

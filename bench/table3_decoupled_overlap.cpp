@@ -1,0 +1,54 @@
+// Table 3 reproduction: cycles overlapped through decoupled control — how
+// much permutation work the SPU controller absorbs per kernel.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace subword;
+using namespace subword::bench;
+
+int main() {
+  std::printf(
+      "Table 3 — Cycles overlapped through decoupled control\n"
+      "(permutation instructions off-loaded to the SPU controller)\n\n");
+  prof::Table t({"Media Algorithm", "Cycles Overlapped", "% MMX Instr",
+                 "Total Instr", "Permutes removed", "of baseline permutes"});
+  for (const auto& k : kernels::all_kernels()) {
+    const int repeats = default_repeats(k->name());
+    const auto base = kernels::run_baseline(*k, repeats);
+    const auto spu =
+        kernels::run_spu(*k, repeats, core::kConfigA,
+                         kernels::SpuMode::Manual);
+    check(base.verified, k->name() + " baseline");
+    check(spu.verified, k->name() + " SPU");
+
+    const double scale =
+        paper_clocks(k->name()) / static_cast<double>(base.stats.cycles);
+    const uint64_t removed =
+        base.stats.mmx_permutation -
+        std::min(base.stats.mmx_permutation, spu.stats.mmx_permutation);
+    const double cycles_overlapped =
+        static_cast<double>(base.stats.cycles - spu.stats.cycles) * scale;
+    const double pct_mmx =
+        static_cast<double>(removed) /
+        static_cast<double>(base.stats.mmx_instructions);
+    const double pct_total =
+        static_cast<double>(removed) /
+        static_cast<double>(base.stats.instructions);
+    const double pct_permutes =
+        static_cast<double>(removed) /
+        static_cast<double>(base.stats.mmx_permutation);
+    t.add_row({k->name(), prof::sci(cycles_overlapped),
+               prof::pct(pct_mmx, 2), prof::pct(pct_total, 2),
+               prof::sci(static_cast<double>(removed) * scale),
+               prof::pct(pct_permutes, 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Paper claim: between 11%% and 93%% of MMX permutation instructions "
+      "are\noff-loaded to the SPU controller, for total instruction "
+      "savings between\n3.58%% and 17.55%%. Column semantics follow our "
+      "EXPERIMENTS.md definitions\n(removed permutes over MMX instrs / "
+      "over all instrs / over baseline permutes).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// fir_filter — filtering an audio-like block through the FIR12 kernel,
+// baseline vs SPU, printing a few samples and the performance split.
+//
+// Build & run:  ./fir_filter
+#include <cstdio>
+
+#include "kernels/kernel.h"
+#include "kernels/registry.h"
+#include "kernels/runner.h"
+#include "profile/report.h"
+#include "sim/machine.h"
+
+using namespace subword;
+
+int main() {
+  const auto k = kernels::make_kernel("FIR12");
+  std::printf("workload: %s\n\n", k->description().c_str());
+
+  // Run once and show the filtered signal actually landing in memory.
+  sim::Machine m(k->build_mmx(1), kernels::kMemBytes);
+  k->init_memory(m.memory());
+  m.run();
+  std::printf("first filtered samples (Q15 >> 15 accumulation):\n  ");
+  for (int i = 0; i < 8; ++i) {
+    std::printf("%6d ", static_cast<int16_t>(m.memory().read16(
+                            kernels::kOutputAddr + 2 * static_cast<uint64_t>(i))));
+  }
+  std::printf("\n\n");
+
+  const auto base = kernels::run_baseline(*k, 32);
+  const auto spu =
+      kernels::run_spu(*k, 32, core::kConfigD, kernels::SpuMode::Manual);
+  std::printf("%s\n", prof::run_report("MMX baseline", base.stats).c_str());
+  std::printf("%s\n", prof::run_report("MMX+SPU", spu.stats).c_str());
+
+  if (!base.verified || !spu.verified) {
+    std::printf("VERIFICATION FAILED\n");
+    return 1;
+  }
+  const auto s = prof::summarize(base.stats, spu.stats);
+  std::printf("speedup: %.1f%%\n", (s.speedup - 1.0) * 100.0);
+  std::printf(
+      "\nNote the modest gain relative to the matrix kernels: the IPP-style\n"
+      "FIR already avoids most realignment by keeping reversed coefficient\n"
+      "copies register-resident (at the cost of register pressure), exactly\n"
+      "as §5.2.2 of the paper describes.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// image_dct — 2-D DCT over a synthetic 8x128 image strip (16 blocks),
+// the paper's flagship inter-word workload, with an energy-compaction
+// readout to show the transform doing real signal-processing work.
+//
+// Build & run:  ./image_dct
+#include <cmath>
+#include <cstdio>
+
+#include "kernels/kernel.h"
+#include "kernels/registry.h"
+#include "kernels/runner.h"
+#include "profile/report.h"
+#include "sim/machine.h"
+
+using namespace subword;
+
+int main() {
+  const auto k = kernels::make_kernel("DCT");
+  std::printf("workload: %s over 16 blocks\n\n", k->description().c_str());
+
+  // One verified run; inspect coefficient energy compaction per block.
+  sim::Machine m(k->build_mmx(1), kernels::kMemBytes);
+  k->init_memory(m.memory());
+  m.run();
+
+  double dc_energy = 0, total_energy = 0;
+  for (int blk = 0; blk < 16; ++blk) {
+    for (int i = 0; i < 64; ++i) {
+      const auto c = static_cast<int16_t>(m.memory().read16(
+          kernels::kOutputAddr + static_cast<uint64_t>(blk) * 128 +
+          2 * static_cast<uint64_t>(i)));
+      const double e = static_cast<double>(c) * c;
+      total_energy += e;
+      if (i % 8 < 2 && i / 8 < 2) dc_energy += e;  // low-frequency 2x2
+    }
+  }
+  std::printf("low-frequency (2x2 of 8x8) energy share: %.1f%%\n",
+              100.0 * dc_energy / total_energy);
+  std::printf("(random-noise inputs have no spatial correlation, so this "
+              "is the\n uncompacted floor; real images concentrate far "
+              "more)\n\n");
+
+  const auto base = kernels::run_baseline(*k, 4);
+  const auto spu =
+      kernels::run_spu(*k, 4, core::kConfigD, kernels::SpuMode::Manual);
+  if (!base.verified || !spu.verified) {
+    std::printf("VERIFICATION FAILED\n");
+    return 1;
+  }
+  std::printf("%s\n", prof::run_report("MMX baseline", base.stats).c_str());
+  std::printf("%s\n", prof::run_report("MMX+SPU (config D)", spu.stats).c_str());
+  const auto s = prof::summarize(base.stats, spu.stats);
+  std::printf("speedup: %.1f%%  — the row-pass reductions and both\n"
+              "transposes ride the crossbar.\n",
+              (s.speedup - 1.0) * 100.0);
+  return 0;
+}

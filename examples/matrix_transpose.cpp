@@ -1,0 +1,48 @@
+// matrix_transpose — the paper's Figure 3 inter-word restriction demo.
+//
+// A 4x4 16-bit transpose takes eight unpack instructions on the MMX
+// because a column's sub-words live in four different registers but a
+// computational instruction can only name two. The SPU's unified register
+// view gathers a whole column per instruction: four routed MOVQs.
+//
+// Build & run:  ./matrix_transpose
+#include <cstdio>
+
+#include "kernels/registry.h"
+#include "kernels/runner.h"
+#include "profile/report.h"
+
+using namespace subword;
+
+int main() {
+  const auto k = kernels::make_kernel("Matrix Transpose");
+  std::printf("workload: %s\n\n", k->description().c_str());
+
+  const auto base = kernels::run_baseline(*k, 8);
+  std::printf("%s\n", prof::run_report("MMX (Figure 3: 8 merges + 4 copies "
+                                       "per 4x4 block)",
+                                       base.stats)
+                          .c_str());
+
+  const auto spu = kernels::run_spu(*k, 8, core::kConfigD,
+                                    kernels::SpuMode::Manual);
+  std::printf("%s\n",
+              prof::run_report("MMX+SPU (4 column gathers per block, "
+                               "configuration D)",
+                               spu.stats)
+                  .c_str());
+
+  if (!base.verified || !spu.verified) {
+    std::printf("VERIFICATION FAILED\n");
+    return 1;
+  }
+  const auto s = prof::summarize(base.stats, spu.stats);
+  std::printf("both runs verified bit-exact against the scalar reference\n");
+  std::printf("speedup: %.1f%%   permutations removed: %.0f%%\n",
+              (s.speedup - 1.0) * 100.0, s.permute_offload * 100.0);
+  std::printf(
+      "\nThe paper's point: 8 instructions -> 4 per block, because the\n"
+      "inter-word restriction (sub-words reachable only two registers at\n"
+      "a time) disappears behind the crossbar.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "core/crossbar.h"
+
+#include <sstream>
+
+namespace subword::core {
+
+namespace {
+
+bool is_mode(uint8_t s) {
+  return s == Route::kZero || s == Route::kSignExtend;
+}
+
+}  // namespace
+
+std::string route_violation(const Route& r, const CrossbarConfig& cfg) {
+  const int in_bytes = cfg.input_bytes();
+  for (int p = 0; p < kBusBytes; ++p) {
+    const uint8_t s = r.sel[static_cast<size_t>(p)];
+    if (s == Route::kStraight) continue;
+    if (is_mode(s)) {
+      if (!cfg.modes) {
+        std::ostringstream os;
+        os << "output byte " << p << " uses a mode selector but "
+           << "configuration " << cfg.name << " has no mode support";
+        return os.str();
+      }
+      if (s == Route::kSignExtend && p % kOperandBytes == 0) {
+        std::ostringstream os;
+        os << "output byte " << p
+           << " sign-extends with no lower byte in its operand";
+        return os.str();
+      }
+      continue;
+    }
+    if (s >= in_bytes) {
+      std::ostringstream os;
+      os << "output byte " << p << " sources SPU byte "
+         << static_cast<int>(s) << " outside the " << in_bytes
+         << "-byte input window of configuration " << cfg.name;
+      return os.str();
+    }
+  }
+  if (cfg.port_bits == 16) {
+    // Output ports are 16-bit: bytes 2k and 2k+1 must either both be
+    // straight, or form an aligned half-word route. With the mode
+    // extension, the high byte may instead be a zero/sign fill (widening
+    // routes), or both bytes may be zero.
+    for (int p = 0; p < kBusBytes; p += 2) {
+      const uint8_t lo = r.sel[static_cast<size_t>(p)];
+      const uint8_t hi = r.sel[static_cast<size_t>(p + 1)];
+      if (lo == Route::kStraight && hi == Route::kStraight) continue;
+      if (cfg.modes) {
+        const bool lo_data = !is_mode(lo) && lo != Route::kStraight;
+        if ((lo_data || lo == Route::kZero) && is_mode(hi)) continue;
+      }
+      std::ostringstream os;
+      if (lo == Route::kStraight || hi == Route::kStraight) {
+        os << "output half-word at byte " << p
+           << " mixes routed and straight bytes; configuration " << cfg.name
+           << " routes 16-bit ports only";
+        return os.str();
+      }
+      if (is_mode(lo) || is_mode(hi)) {
+        os << "output half-word at byte " << p
+           << " uses an unsupported mode combination on 16-bit ports";
+        return os.str();
+      }
+      if (lo % 2 != 0 || hi != lo + 1) {
+        os << "output half-word at byte " << p
+           << " routes a misaligned source pair (" << static_cast<int>(lo)
+           << "," << static_cast<int>(hi) << "); configuration " << cfg.name
+           << " routes aligned 16-bit half-words only";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+swar::Vec64 apply_route(const Route& r, sim::Pipe pipe, int operand,
+                        const sim::MmxRegFile& regs, swar::Vec64 fallback) {
+  const int off = bus_offset(pipe, operand);
+  swar::Vec64 out = fallback;
+  uint8_t prev = 0;  // resolved value of the previous output byte
+  for (int i = 0; i < kOperandBytes; ++i) {
+    const uint8_t s = r.sel[static_cast<size_t>(off + i)];
+    uint8_t v;
+    if (s == Route::kStraight) {
+      v = fallback.byte(i);
+    } else if (s == Route::kZero) {
+      v = 0;
+    } else if (s == Route::kSignExtend) {
+      v = (prev & 0x80) != 0 ? 0xFF : 0x00;
+    } else {
+      v = regs.byte(s);
+    }
+    out.set_byte(i, v);
+    prev = v;
+  }
+  return out;
+}
+
+}  // namespace subword::core

@@ -1,0 +1,160 @@
+// crossbar.h — the SPU interconnect: configurations and routes.
+//
+// The interconnect is a (folded) crossbar between the SPU register — a
+// byte-addressable view of the whole 8x64-bit MMX register file, 64 bytes —
+// and the 32-byte MMX operand bus (U pipe src0/src1 and V pipe src0/src1,
+// 8 bytes each). The paper's Table 1 evaluates four configurations that
+// trade flexibility for area/delay:
+//
+//   A: 64x32 crossbar, 8-bit ports  — full byte-level flexibility
+//   B: 32x32 crossbar, 8-bit ports  — byte routing from MM0..MM3 only
+//   C: 32x16 crossbar, 16-bit ports — half-word routing from all registers
+//   D: 16x16 crossbar, 16-bit ports — half-word routing from MM0..MM3
+//
+// A Route assigns each output byte either a source byte address in the SPU
+// register or "straight" (the architecturally named operand byte).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/regfile.h"
+#include "sim/router.h"
+#include "swar/vec64.h"
+
+namespace subword::core {
+
+struct CrossbarConfig {
+  std::string_view name;
+  int input_ports;   // addressable source chunks
+  int output_ports;  // operand-bus chunks
+  int port_bits;     // 8 or 16
+  // §6 extension: "additional modes could be added to the SPU, like sign
+  // extension, negation". When set, routes may inject constant-zero bytes
+  // and sign-fill bytes (see Route::kZero / Route::kSignExtend).
+  bool modes = false;
+
+  [[nodiscard]] constexpr int port_bytes() const { return port_bits / 8; }
+  [[nodiscard]] constexpr int input_bytes() const {
+    return input_ports * port_bytes();
+  }
+  [[nodiscard]] constexpr int output_bytes() const {
+    return output_ports * port_bytes();
+  }
+  // Bits to select one input port.
+  [[nodiscard]] constexpr int sel_bits() const {
+    int b = 0;
+    while ((1 << b) < input_ports) ++b;
+    return b;
+  }
+  // Width of the per-state interconnect field (Figure 6: 192 bits for A).
+  [[nodiscard]] constexpr int route_field_bits() const {
+    return output_ports * sel_bits();
+  }
+  // Control word: CNTRx (1) + NextState0 (7) + NextState1 (7) = 15 bits
+  // plus the interconnect field (paper: "128*(15+K)").
+  [[nodiscard]] constexpr int control_word_bits() const {
+    return 15 + route_field_bits();
+  }
+  [[nodiscard]] constexpr int crosspoints() const {
+    return input_ports * output_ports;
+  }
+};
+
+inline constexpr CrossbarConfig kConfigA{"A", 64, 32, 8};
+inline constexpr CrossbarConfig kConfigB{"B", 32, 32, 8};
+inline constexpr CrossbarConfig kConfigC{"C", 32, 16, 16};
+inline constexpr CrossbarConfig kConfigD{"D", 16, 16, 16};
+inline constexpr std::array<CrossbarConfig, 4> kAllConfigs{
+    kConfigA, kConfigB, kConfigC, kConfigD};
+
+// The same geometry with the §6 byte-mode extension enabled.
+[[nodiscard]] constexpr CrossbarConfig with_modes(CrossbarConfig cfg) {
+  cfg.modes = true;
+  return cfg;
+}
+
+// Operand-bus byte layout: [pipe U src0 | U src1 | V src0 | V src1].
+inline constexpr int kBusBytes = 32;
+inline constexpr int kOperandBytes = 8;
+
+[[nodiscard]] constexpr int bus_offset(sim::Pipe pipe, int operand) {
+  return (static_cast<int>(pipe) * 2 + operand) * kOperandBytes;
+}
+
+// A full operand-bus routing assignment. Besides source byte addresses
+// (0..63) a selector can be one of the specials below; the mode selectors
+// require a configuration with `modes` set.
+struct Route {
+  static constexpr uint8_t kStraight = 0xFF;
+  // §6 extension modes:
+  static constexpr uint8_t kZero = 0xFE;        // inject 0x00
+  static constexpr uint8_t kSignExtend = 0xFD;  // fill with the sign of
+                                                // the previous output byte
+  std::array<uint8_t, kBusBytes> sel{};
+
+  Route() { sel.fill(kStraight); }
+
+  [[nodiscard]] bool is_straight() const {
+    for (const auto s : sel) {
+      if (s != kStraight) return false;
+    }
+    return true;
+  }
+
+  // True if the 8-byte slice for (pipe, operand) has any routed byte.
+  [[nodiscard]] bool routes_operand(sim::Pipe pipe, int operand) const {
+    const int off = bus_offset(pipe, operand);
+    for (int i = 0; i < kOperandBytes; ++i) {
+      if (sel[static_cast<size_t>(off + i)] != kStraight) return true;
+    }
+    return false;
+  }
+
+  // Set the routing for one operand of one pipe. `srcs[i]` is the SPU
+  // register byte address feeding output byte i, or kStraight.
+  void set_operand(sim::Pipe pipe, int operand,
+                   const std::array<uint8_t, kOperandBytes>& srcs) {
+    const int off = bus_offset(pipe, operand);
+    for (int i = 0; i < kOperandBytes; ++i) {
+      sel[static_cast<size_t>(off + i)] = srcs[static_cast<size_t>(i)];
+    }
+  }
+
+  // Convenience: route one operand in both pipes (the issue pipe is not
+  // known at SPU-programming time; the hardware muxes the field to the pipe
+  // that executes the instruction).
+  void set_operand_both_pipes(int operand,
+                              const std::array<uint8_t, kOperandBytes>& srcs) {
+    set_operand(sim::Pipe::U, operand, srcs);
+    set_operand(sim::Pipe::V, operand, srcs);
+  }
+
+  friend bool operator==(const Route& a, const Route& b) {
+    return a.sel == b.sel;
+  }
+};
+
+// Route validity under a crossbar configuration:
+//  * routed bytes must address within the configuration's input window,
+//  * 16-bit-port configurations must route aligned half-word pairs on both
+//    the input and output side.
+// Returns empty string if valid, else a human-readable reason.
+[[nodiscard]] std::string route_violation(const Route& r,
+                                          const CrossbarConfig& cfg);
+
+[[nodiscard]] inline bool route_valid(const Route& r,
+                                      const CrossbarConfig& cfg) {
+  return route_violation(r, cfg).empty();
+}
+
+// Gather one operand (8 bytes) through the crossbar. Straight bytes come
+// from `fallback` (the architecturally named operand value).
+[[nodiscard]] swar::Vec64 apply_route(const Route& r, sim::Pipe pipe,
+                                      int operand,
+                                      const sim::MmxRegFile& regs,
+                                      swar::Vec64 fallback);
+
+}  // namespace subword::core

@@ -1,0 +1,89 @@
+#include "core/micro_builder.h"
+
+#include <stdexcept>
+
+#include "core/mmio.h"
+
+namespace subword::core {
+
+MicroBuilder::MicroBuilder(CrossbarConfig cfg) : cfg_(cfg) {}
+
+int MicroBuilder::add_state(const Route& route, uint8_t cntr_sel) {
+  if (next_state_ >= kNumStates - 1) {
+    throw std::logic_error("MicroBuilder: out of SPU states (127 max)");
+  }
+  const auto v = route_violation(route, cfg_);
+  if (!v.empty()) {
+    throw std::logic_error("MicroBuilder: invalid route: " + v);
+  }
+  auto& st = prog_.states[static_cast<size_t>(next_state_)];
+  st.route = route;
+  st.cntr_sel = cntr_sel & 1;
+  st.next0 = kIdleState;
+  st.next1 = kIdleState;
+  return next_state_++;
+}
+
+int MicroBuilder::add_straight_state(uint8_t cntr_sel) {
+  return add_state(Route{}, cntr_sel);
+}
+
+void MicroBuilder::chain_loop(int first, int last) {
+  if (first < 0 || last < first || last >= next_state_) {
+    throw std::logic_error("MicroBuilder: bad chain range");
+  }
+  for (int s = first; s <= last; ++s) {
+    auto& st = prog_.states[static_cast<size_t>(s)];
+    st.next0 = kIdleState;
+    st.next1 = static_cast<uint8_t>(s == last ? first : s + 1);
+  }
+}
+
+void MicroBuilder::set_next(int state, uint8_t next0, uint8_t next1) {
+  if (state < 0 || state >= next_state_) {
+    throw std::logic_error("MicroBuilder: bad state index");
+  }
+  prog_.states[static_cast<size_t>(state)].next0 = next0;
+  prog_.states[static_cast<size_t>(state)].next1 = next1;
+}
+
+void MicroBuilder::set_cntr_reload(int counter, uint32_t value) {
+  prog_.reload.at(static_cast<size_t>(counter)) = value;
+}
+
+void MicroBuilder::seal_simple_loop(uint32_t trip_count) {
+  if (next_state_ == 0) {
+    throw std::logic_error("MicroBuilder: no states to seal");
+  }
+  chain_loop(0, next_state_ - 1);
+  set_cntr_reload(0, trip_count * static_cast<uint32_t>(next_state_));
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> MicroBuilder::mmio_words(
+    bool include_straight_words) const {
+  std::vector<std::pair<uint32_t, uint32_t>> words;
+  words.reserve(static_cast<size_t>(next_state_) *
+                    (1 + SpuMmio::kRouteWords) +
+                kNumCounters);
+  words.emplace_back(SpuMmio::kCntr0, prog_.reload[0]);
+  words.emplace_back(SpuMmio::kCntr1, prog_.reload[1]);
+  for (int s = 0; s < next_state_; ++s) {
+    const auto& st = prog_.states[static_cast<size_t>(s)];
+    const uint32_t base = SpuMmio::kStateBase +
+                          static_cast<uint32_t>(s) * SpuMmio::kStateStride;
+    words.emplace_back(base, SpuMmio::encode_control(st));
+    for (uint32_t w = 0; w < SpuMmio::kRouteWords; ++w) {
+      // Straight words are the reset default; skip them to keep the
+      // programming cost (and thus the SPU startup overhead we charge)
+      // proportional to what is actually routed.
+      const uint32_t v = SpuMmio::encode_route_word(st.route,
+                                                    static_cast<int>(w));
+      if (include_straight_words || v != 0xFFFFFFFFu) {
+        words.emplace_back(base + 4 + 4 * w, v);
+      }
+    }
+  }
+  return words;
+}
+
+}  // namespace subword::core

@@ -1,0 +1,60 @@
+// micro_builder.h — ergonomic construction of SPU microprograms.
+//
+// Used by the orchestrator and by hand-written SPU kernels. The common case
+// is the paper's Figure 7 shape: one state per static instruction of a loop
+// body, chained with NextState1, every NextState0 pointing at IDLE, and
+// CNTR0 preloaded with trip_count x body_length.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/spu_program.h"
+
+namespace subword::core {
+
+class MicroBuilder {
+ public:
+  explicit MicroBuilder(CrossbarConfig cfg);
+
+  // Appends a state (initially chained nowhere); returns its index.
+  // Throws std::logic_error when the routes violate the configuration or
+  // the 127 programmable states are exhausted.
+  int add_state(const Route& route, uint8_t cntr_sel = 0);
+
+  // Identity-route state (scalar instructions, unrouted MMX instructions).
+  int add_straight_state(uint8_t cntr_sel = 0);
+
+  // Chain states [first, last] sequentially with NextState1, wrapping from
+  // `last` back to `first`; NextState0 of every state in the range is IDLE.
+  void chain_loop(int first, int last);
+
+  // Explicit successor control for nested-loop structures.
+  void set_next(int state, uint8_t next0, uint8_t next1);
+  void set_cntr_reload(int counter, uint32_t value);
+
+  // Finish a single-loop program over all added states: chain them and set
+  // CNTR0 = trip_count * state_count (the paper's "dynamic instruction
+  // count" initialization).
+  void seal_simple_loop(uint32_t trip_count);
+
+  [[nodiscard]] const SpuProgram& program() const { return prog_; }
+  [[nodiscard]] int state_count() const { return next_state_; }
+  [[nodiscard]] const CrossbarConfig& config() const { return cfg_; }
+
+  // The (offset, value) MMIO word stream that programs this microprogram
+  // into the currently selected SPU context (see mmio.h for the layout).
+  // Excludes the GO write. Only programmed states are emitted; straight
+  // (all-0xFF) route words are skipped because they match the reset value —
+  // pass include_straight_words=true when overwriting a dirty context.
+  [[nodiscard]] std::vector<std::pair<uint32_t, uint32_t>> mmio_words(
+      bool include_straight_words = false) const;
+
+ private:
+  CrossbarConfig cfg_;
+  SpuProgram prog_;
+  int next_state_ = 0;
+};
+
+}  // namespace subword::core

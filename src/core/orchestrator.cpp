@@ -1,0 +1,190 @@
+#include "core/orchestrator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/micro_builder.h"
+#include "core/mmio.h"
+#include "core/setup.h"
+#include "isa/assembler.h"
+#include "sim/pairing.h"
+
+namespace subword::core {
+
+using isa::Inst;
+using isa::Op;
+
+namespace {
+
+void check_reserved_regs_free(const isa::Program& p) {
+  const auto base = static_cast<uint8_t>(isa::kNumMmxRegs);
+  const uint8_t r14 = base + kSpuBaseReg;
+  const uint8_t r15 = base + kSpuScratchReg;
+  for (const auto& in : p.insts()) {
+    const auto rd = sim::regs_read(in);
+    const auto wr = sim::regs_written(in);
+    if (rd.contains(r14) || rd.contains(r15) || wr.contains(r14) ||
+        wr.contains(r15)) {
+      throw std::logic_error(
+          "Orchestrator: program uses reserved SPU setup registers R14/R15");
+    }
+  }
+}
+
+// Build a vector of instructions using the Assembler convenience API.
+template <typename Fn>
+std::vector<Inst> build(Fn&& fn) {
+  isa::Assembler a;
+  fn(a);
+  return std::move(a.take().insts());
+}
+
+}  // namespace
+
+OrchestrationResult Orchestrator::run(const isa::Program& p) const {
+  check_reserved_regs_free(p);
+
+  OrchestrationResult res;
+  const auto loops = find_inner_loops(p);
+  const size_t n = p.size();
+  std::vector<bool> removed(n, false);
+  std::vector<int> go_before(n, -1);  // old head index -> context id
+
+  // --- analyze loops and build microprograms -------------------------------
+  std::vector<LoopAnalysis> chosen;
+  for (const auto& loop : loops) {
+    LoopReport rep;
+    rep.head = loop.head;
+    rep.body_len_before = static_cast<int>(loop.body_len());
+
+    LoopAnalysis la = analyze_loop(p, loop, opts_.config);
+    rep.candidate_permutations = la.candidate_count;
+    rep.total_permutations = la.permutation_count;
+    rep.trip_count = la.trip_count;
+    if (!la.reject_reason.empty()) {
+      rep.note = la.reject_reason;
+      res.loops.push_back(rep);
+      continue;
+    }
+    if (la.removable_count == 0 && !opts_.orchestrate_empty_loops) {
+      rep.note = "no removable permutations";
+      res.loops.push_back(rep);
+      continue;
+    }
+    if (static_cast<int>(res.contexts.size()) >= opts_.max_contexts) {
+      rep.note = "out of SPU contexts";
+      res.loops.push_back(rep);
+      continue;
+    }
+
+    // One SPU state per *kept* body instruction, in order.
+    MicroBuilder mb(opts_.config);
+    int kept = 0;
+    for (size_t k = 0; k < loop.body_len(); ++k) {
+      if (la.removable[k]) {
+        removed[loop.head + k] = true;
+        continue;
+      }
+      Route r;
+      const auto& ir = la.routing[k];
+      if (ir.a.routable && ir.a.def >= 0 &&
+          la.removable[static_cast<size_t>(ir.a.def)]) {
+        r.set_operand_both_pipes(0, ir.a.srcs);
+      }
+      if (ir.b.routable && ir.b.def >= 0 &&
+          la.removable[static_cast<size_t>(ir.b.def)]) {
+        r.set_operand_both_pipes(1, ir.b.srcs);
+      }
+      mb.add_state(r);
+      ++kept;
+    }
+    mb.seal_simple_loop(static_cast<uint32_t>(la.trip_count));
+
+    const int ctx = static_cast<int>(res.contexts.size());
+    res.contexts.push_back(mb.program());
+    go_before[loop.head] = ctx;
+    rep.context = ctx;
+    rep.body_len_after = kept;
+    rep.removed_permutations = la.removable_count;
+    res.removed_static += la.removable_count;
+    res.loops.push_back(rep);
+    chosen.push_back(std::move(la));
+  }
+
+  if (res.contexts.empty()) {
+    res.program = p;  // nothing to do
+    return res;
+  }
+
+  // --- prologue: program every context through the MMIO window -------------
+  std::vector<Inst> out = build([&](isa::Assembler& a) {
+    emit_spu_base(a, opts_.mmio_base);
+    for (size_t c = 0; c < res.contexts.size(); ++c) {
+      // Select context c (GO clear), then stream its words.
+      emit_spu_stop(a, static_cast<int>(c));
+      MicroBuilder mb(opts_.config);
+      // Re-derive the word stream from the stored program.
+      // (MicroBuilder owns encoding; reconstruct states in order.)
+      const auto& prog = res.contexts[c];
+      int states = prog.reachable_states();
+      for (int s = 0; s < states; ++s) {
+        mb.add_state(prog.states[static_cast<size_t>(s)].route,
+                     prog.states[static_cast<size_t>(s)].cntr_sel);
+        mb.set_next(s, prog.states[static_cast<size_t>(s)].next0,
+                    prog.states[static_cast<size_t>(s)].next1);
+      }
+      mb.set_cntr_reload(0, prog.reload[0]);
+      mb.set_cntr_reload(1, prog.reload[1]);
+      emit_spu_words(a, mb.mmio_words());
+    }
+  });
+  res.prologue_instructions = static_cast<int>(out.size());
+
+  // --- rewrite --------------------------------------------------------------
+  std::vector<int32_t> new_index(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    if (go_before[i] >= 0) {
+      const auto go = build([&](isa::Assembler& a) {
+        emit_spu_go(a, go_before[i]);
+      });
+      out.insert(out.end(), go.begin(), go.end());
+    }
+    if (removed[i]) continue;
+    new_index[i] = static_cast<int32_t>(out.size());
+    out.push_back(p.at(i));
+  }
+
+  // Re-patch branch targets: a target that pointed at a removed instruction
+  // moves to the next kept one.
+  auto resolve = [&](int32_t old_target) -> int32_t {
+    for (size_t j = static_cast<size_t>(old_target); j < n; ++j) {
+      if (new_index[j] >= 0) return new_index[j];
+    }
+    throw std::logic_error("Orchestrator: branch target vanished");
+  };
+  for (size_t i = static_cast<size_t>(res.prologue_instructions);
+       i < out.size(); ++i) {
+    if (isa::is_branch_op(out[i].op) && out[i].target >= 0) {
+      out[i].target = resolve(out[i].target);
+    }
+  }
+
+  // Labels are dropped: indices moved and they are only used for listings.
+  res.program = isa::Program(std::move(out), {});
+  return res;
+}
+
+AttachedSpu attach_spu(sim::Machine& m, const OrchestrationResult& result,
+                       const OrchestratorOptions& opts) {
+  AttachedSpu att;
+  const int contexts =
+      std::max<int>(1, static_cast<int>(result.contexts.size()));
+  att.spu = std::make_unique<Spu>(opts.config, contexts);
+  att.mmio = std::make_unique<SpuMmio>(att.spu.get());
+  m.memory().map_device(opts.mmio_base, SpuMmio::kWindowSize,
+                        att.mmio.get());
+  m.set_router(att.spu.get());
+  return att;
+}
+
+}  // namespace subword::core

@@ -1,0 +1,95 @@
+// orchestrator.h — automatic sub-word orchestration (the paper's §4 claim
+// that SPU code generation "is systematic and can be automated").
+//
+// The pass:
+//   1. finds simple inner loops with statically known trip counts,
+//   2. runs the byte-provenance analysis (provenance.h) under the chosen
+//      crossbar configuration,
+//   3. deletes the permutation instructions proven removable,
+//   4. attaches crossbar routes to their consumers via a per-loop SPU
+//      microprogram (one state per remaining body instruction, Figure 7),
+//   5. rewrites the program: an MMIO programming prologue at entry, a
+//      context-select + GO store immediately before each orchestrated loop,
+//      with all branch targets re-patched.
+//
+// The transformed program must be run on a Machine with a Spu installed
+// (attach_spu below); it produces bit-identical architectural results while
+// the deleted permutations are performed by the SPU interconnect.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mmio.h"
+#include "core/provenance.h"
+#include "core/spu.h"
+#include "core/spu_program.h"
+#include "isa/program.h"
+#include "sim/machine.h"
+
+namespace subword::core {
+
+struct OrchestratorOptions {
+  CrossbarConfig config = kConfigA;
+  int max_contexts = 8;
+  uint64_t mmio_base = 0xF0000000ull;
+  // When false, loops whose analysis finds nothing removable are left
+  // untouched (no GO, no states) — avoids pure overhead.
+  bool orchestrate_empty_loops = false;
+};
+
+struct LoopReport {
+  size_t head = 0;            // original instruction index of the loop head
+  int context = -1;           // SPU context assigned (-1: not orchestrated)
+  int body_len_before = 0;
+  int body_len_after = 0;
+  int removed_permutations = 0;   // static count
+  int candidate_permutations = 0;
+  int total_permutations = 0;     // static, incl. packs
+  int64_t trip_count = 0;
+  std::string note;           // reject reason / diagnostics
+};
+
+struct OrchestrationResult {
+  isa::Program program;            // transformed program
+  std::vector<SpuProgram> contexts;  // microprograms, indexed by context id
+  std::vector<LoopReport> loops;
+  int prologue_instructions = 0;   // MMIO programming cost (instructions)
+  int removed_static = 0;          // total removed permutations (static)
+
+  [[nodiscard]] bool any_orchestrated() const {
+    for (const auto& l : loops) {
+      if (l.context >= 0) return true;
+    }
+    return false;
+  }
+};
+
+class Orchestrator {
+ public:
+  explicit Orchestrator(OrchestratorOptions opts = {}) : opts_(opts) {}
+
+  // Transforms `p`. Throws std::logic_error if the program already uses the
+  // reserved SPU setup registers (R14/R15).
+  [[nodiscard]] OrchestrationResult run(const isa::Program& p) const;
+
+  [[nodiscard]] const OrchestratorOptions& options() const { return opts_; }
+
+ private:
+  OrchestratorOptions opts_;
+};
+
+// Creates a Spu matching `result`, maps its MMIO window into the machine's
+// memory and installs it as the machine's operand router. The Spu object
+// must outlive the machine run; the returned unique_ptrs own it.
+struct AttachedSpu {
+  std::unique_ptr<Spu> spu;
+  std::unique_ptr<SpuMmio> mmio;
+};
+[[nodiscard]] AttachedSpu attach_spu(sim::Machine& m,
+                                     const OrchestrationResult& result,
+                                     const OrchestratorOptions& opts);
+
+}  // namespace subword::core

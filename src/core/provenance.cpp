@@ -1,0 +1,399 @@
+#include "core/provenance.h"
+
+#include <stdexcept>
+
+#include "sim/exec.h"
+#include "sim/pairing.h"
+
+namespace subword::core {
+
+using isa::Inst;
+using isa::Op;
+
+bool is_candidate_permutation(Op op) {
+  switch (op) {
+    case Op::MovqRR:
+    case Op::Punpcklbw:
+    case Op::Punpcklwd:
+    case Op::Punpckldq:
+    case Op::Punpckhbw:
+    case Op::Punpckhwd:
+    case Op::Punpckhdq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ByteMap permutation_byte_map(Op op) {
+  ByteMap m{};
+  switch (op) {
+    case Op::MovqRR:
+      for (int i = 0; i < 8; ++i) m[static_cast<size_t>(i)] = {1, i};
+      break;
+    case Op::Punpcklbw:
+      for (int i = 0; i < 4; ++i) {
+        m[static_cast<size_t>(2 * i)] = {0, i};
+        m[static_cast<size_t>(2 * i + 1)] = {1, i};
+      }
+      break;
+    case Op::Punpckhbw:
+      for (int i = 0; i < 4; ++i) {
+        m[static_cast<size_t>(2 * i)] = {0, 4 + i};
+        m[static_cast<size_t>(2 * i + 1)] = {1, 4 + i};
+      }
+      break;
+    case Op::Punpcklwd:
+      for (int w = 0; w < 2; ++w) {
+        for (int b = 0; b < 2; ++b) {
+          m[static_cast<size_t>(4 * w + b)] = {0, 2 * w + b};
+          m[static_cast<size_t>(4 * w + 2 + b)] = {1, 2 * w + b};
+        }
+      }
+      break;
+    case Op::Punpckhwd:
+      for (int w = 0; w < 2; ++w) {
+        for (int b = 0; b < 2; ++b) {
+          m[static_cast<size_t>(4 * w + b)] = {0, 4 + 2 * w + b};
+          m[static_cast<size_t>(4 * w + 2 + b)] = {1, 4 + 2 * w + b};
+        }
+      }
+      break;
+    case Op::Punpckldq:
+      for (int b = 0; b < 4; ++b) {
+        m[static_cast<size_t>(b)] = {0, b};
+        m[static_cast<size_t>(4 + b)] = {1, b};
+      }
+      break;
+    case Op::Punpckhdq:
+      for (int b = 0; b < 4; ++b) {
+        m[static_cast<size_t>(b)] = {0, 4 + b};
+        m[static_cast<size_t>(4 + b)] = {1, 4 + b};
+      }
+      break;
+    default:
+      throw std::logic_error("permutation_byte_map: not a candidate");
+  }
+  return m;
+}
+
+std::vector<Loop> find_inner_loops(const isa::Program& p) {
+  std::vector<Loop> loops;
+  const auto& insts = p.insts();
+  for (size_t i = 0; i < insts.size(); ++i) {
+    const Inst& in = insts[i];
+    if (!isa::is_branch_op(in.op)) continue;
+    if (in.op != Op::Loopnz && in.op != Op::Jnz) continue;
+    if (in.target < 0 || static_cast<size_t>(in.target) >= i) continue;
+    const auto head = static_cast<size_t>(in.target);
+    // Straight-line body: no other branches inside.
+    bool simple = true;
+    for (size_t j = head; j < i && simple; ++j) {
+      if (isa::is_branch_op(insts[j].op) || insts[j].op == Op::Halt) {
+        simple = false;
+      }
+    }
+    if (!simple) continue;
+    // No jump from elsewhere into the body — including its head, so that
+    // fall-through is the only entry (the orchestrator places the SPU GO
+    // write immediately before the head).
+    for (size_t j = 0; j < insts.size() && simple; ++j) {
+      if (j == i || !isa::is_branch_op(insts[j].op)) continue;
+      const auto t = insts[j].target;
+      if (t >= static_cast<int32_t>(head) && t <= static_cast<int32_t>(i)) {
+        simple = false;
+      }
+    }
+    if (simple) loops.push_back(Loop{head, i});
+  }
+  return loops;
+}
+
+namespace {
+
+// The location that produced the value currently held in a register byte.
+struct Loc {
+  int8_t reg = -1;   // architectural MMX register holding the value
+  int8_t byte = 0;   // byte within that register
+  int32_t def = -1;  // body-relative index of the defining write (-1: entry)
+};
+
+using RegLocs = std::array<Loc, 8>;
+
+// Reads of MMX registers by a body instruction, for removability checks.
+bool reads_mmx_reg(const Inst& in, uint8_t reg) {
+  const auto rs = isa::mmx_reads(in);
+  for (int i = 0; i < rs.count; ++i) {
+    if (rs.regs[i] == reg) return true;
+  }
+  return false;
+}
+
+bool is_shift_op(Op op) {
+  switch (op) {
+    case Op::Psllw: case Op::Pslld: case Op::Psllq:
+    case Op::Psrlw: case Op::Psrld: case Op::Psrlq:
+    case Op::Psraw: case Op::Psrad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Liveness of an MMX register after the loop: explore every control-flow
+// path from `from`; a path that reads `reg` before writing it makes the
+// value live. Paths are killed at writes; conditional branches explore
+// both successors; running off the end counts as dead (Halt-equivalent).
+bool live_after(const isa::Program& p, size_t from, uint8_t reg) {
+  const auto& insts = p.insts();
+  std::vector<bool> visited(insts.size(), false);
+  std::vector<size_t> work{from};
+  while (!work.empty()) {
+    const size_t pc = work.back();
+    work.pop_back();
+    if (pc >= insts.size() || visited[pc]) continue;
+    visited[pc] = true;
+    const Inst& in = insts[pc];
+    if (reads_mmx_reg(in, reg)) return true;
+    uint8_t w = 0;
+    if (isa::mmx_writes(in, &w) && w == reg) continue;  // path killed
+    if (in.op == Op::Halt) continue;
+    if (isa::is_branch_op(in.op)) {
+      if (in.target >= 0) work.push_back(static_cast<size_t>(in.target));
+      if (in.op != Op::Jmp) work.push_back(pc + 1);  // fall-through
+      continue;
+    }
+    work.push_back(pc + 1);
+  }
+  return false;
+}
+
+}  // namespace
+
+LoopAnalysis analyze_loop(const isa::Program& p, const Loop& loop,
+                          const CrossbarConfig& cfg) {
+  LoopAnalysis la;
+  la.loop = loop;
+  const auto& insts = p.insts();
+  const size_t n = loop.body_len();
+  la.routing.resize(n);
+  la.removable.assign(n, false);
+
+  // --- trip count. Two supported loop idioms:
+  //   loopnz reg, head                      (fused decrement-and-branch)
+  //   ...; ssubi reg, 1; ...; jnz reg, head (explicit decrement)
+  // In both, `reg` must be initialized by a `li` preceding the loop with
+  // no other write in between, and (for jnz) decremented exactly once in
+  // the body.
+  const Inst& br = insts[loop.branch];
+  if (br.op == Op::Loopnz) {
+    la.trip_reg = br.src;
+  } else if (br.op == Op::Jnz) {
+    la.trip_reg = br.src;
+    const auto id = static_cast<uint8_t>(isa::kNumMmxRegs + la.trip_reg);
+    int decrements = 0;
+    bool other_write = false;
+    for (size_t j = loop.head; j < loop.branch; ++j) {
+      const Inst& in = insts[j];
+      if (!sim::regs_written(in).contains(id)) continue;
+      if (in.op == Op::SSubi && in.dst == la.trip_reg && in.disp == 1) {
+        ++decrements;
+      } else {
+        other_write = true;
+      }
+    }
+    if (decrements != 1 || other_write) {
+      la.reject_reason = "jnz loop counter is not a simple decrement";
+      return la;
+    }
+  } else {
+    la.reject_reason = "loop closed by an unsupported branch form";
+    return la;
+  }
+  for (size_t j = loop.head; j-- > 0;) {
+    const Inst& in = insts[j];
+    const auto ws = sim::regs_written(in);
+    const auto id = static_cast<uint8_t>(isa::kNumMmxRegs + la.trip_reg);
+    if (ws.contains(id)) {
+      if (in.op == Op::Li) la.trip_count = in.disp;
+      break;
+    }
+  }
+  if (la.trip_count <= 0) {
+    la.reject_reason = "loop trip count is not statically known";
+    return la;
+  }
+
+  // --- forward dataflow over one iteration -------------------------------
+  std::array<RegLocs, isa::kNumMmxRegs> locs;
+  std::array<int32_t, isa::kNumMmxRegs> last_write;
+  std::array<bool, isa::kNumMmxRegs> upward_exposed{};
+  std::array<bool, isa::kNumMmxRegs> written{};
+  for (int r = 0; r < isa::kNumMmxRegs; ++r) {
+    last_write[static_cast<size_t>(r)] = -1;
+    for (int b = 0; b < 8; ++b) {
+      locs[static_cast<size_t>(r)][static_cast<size_t>(b)] =
+          Loc{static_cast<int8_t>(r), static_cast<int8_t>(b), -1};
+    }
+  }
+
+  auto try_route = [&](uint8_t reg, OperandRouting* out) {
+    const int32_t def = last_write[reg];
+    if (def < 0 || !is_candidate_permutation(insts[loop.head +
+                                                   static_cast<size_t>(def)]
+                                                 .op)) {
+      return;  // operand is not the product of a removable permutation
+    }
+    out->attempted = true;
+    out->def = def;
+    std::array<uint8_t, 8> srcs{};
+    for (int b = 0; b < 8; ++b) {
+      const Loc& l = locs[reg][static_cast<size_t>(b)];
+      if (l.reg < 0) {
+        out->reject = "operand byte has unknown provenance";
+        return;
+      }
+      // Value must still be present at its source register at consume time.
+      if (last_write[static_cast<size_t>(l.reg)] != l.def) {
+        out->reject = "source register overwritten before consumer";
+        return;
+      }
+      srcs[static_cast<size_t>(b)] =
+          static_cast<uint8_t>(l.reg * 8 + l.byte);
+    }
+    // Validate against the crossbar configuration on a scratch route.
+    Route probe;
+    probe.set_operand_both_pipes(0, srcs);
+    const auto v = route_violation(probe, cfg);
+    if (!v.empty()) {
+      out->reject = v;
+      return;
+    }
+    out->routable = true;
+    out->srcs = srcs;
+  };
+
+  for (size_t k = 0; k < n; ++k) {
+    const Inst& in = insts[loop.head + k];
+
+    // Record upward-exposed reads.
+    {
+      const auto rs = isa::mmx_reads(in);
+      for (int i = 0; i < rs.count; ++i) {
+        if (!written[rs.regs[i]]) upward_exposed[rs.regs[i]] = true;
+      }
+    }
+
+    // Attempt routing for two-operand ALU consumers. Candidate permutations
+    // are themselves removal targets, not routing consumers; packs keep
+    // executing (they saturate) but may receive routed operands. A shift's
+    // register count operand is control, not data — never routed.
+    if (sim::has_alu_semantics(in.op) && !is_candidate_permutation(in.op)) {
+      try_route(in.dst, &la.routing[k].a);
+      if (!is_shift_op(in.op)) {
+        try_route(in.src, &la.routing[k].b);
+      }
+    }
+
+    // Apply the instruction's effect on locations.
+    uint8_t w = 0;
+    if (isa::mmx_writes(in, &w)) {
+      if (is_candidate_permutation(in.op)) {
+        const ByteMap bm = permutation_byte_map(in.op);
+        const RegLocs a = locs[in.dst];
+        const RegLocs b = locs[in.src];
+        RegLocs out;
+        for (int i = 0; i < 8; ++i) {
+          const auto [which, byte] = bm[static_cast<size_t>(i)];
+          out[static_cast<size_t>(i)] =
+              (which == 0) ? a[static_cast<size_t>(byte)]
+                           : b[static_cast<size_t>(byte)];
+        }
+        locs[w] = out;
+      } else {
+        for (int b = 0; b < 8; ++b) {
+          locs[w][static_cast<size_t>(b)] =
+              Loc{static_cast<int8_t>(w), static_cast<int8_t>(b),
+                  static_cast<int32_t>(k)};
+        }
+      }
+      last_write[w] = static_cast<int32_t>(k);
+      written[w] = true;
+    }
+  }
+
+  // --- removability fixpoint ------------------------------------------------
+  for (size_t k = 0; k < n; ++k) {
+    const Inst& in = insts[loop.head + k];
+    if (isa::op_info(in.op).is_permutation) ++la.permutation_count;
+    if (!is_candidate_permutation(in.op)) continue;
+    ++la.candidate_count;
+    uint8_t w = 0;
+    if (!isa::mmx_writes(in, &w)) continue;
+    // A loop-carried use of the permuted value, or a use after the loop,
+    // pins the instruction — but only when this write is the register's
+    // last definition in the body (otherwise the value leaving the
+    // iteration is someone else's).
+    bool redefined_later = false;
+    for (size_t j = k + 1; j < n && !redefined_later; ++j) {
+      uint8_t uw = 0;
+      if (isa::mmx_writes(insts[loop.head + j], &uw) && uw == w) {
+        redefined_later = true;
+      }
+    }
+    if (!redefined_later) {
+      if (upward_exposed[w]) continue;
+      if (live_after(p, loop.branch + 1, w)) continue;
+    }
+    la.removable[k] = true;
+  }
+
+  // Demote candidates whose result is still read by something that was not
+  // rerouted (iterate to handle permute-of-permute chains).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t k = 0; k < n; ++k) {
+      if (!la.removable[k]) continue;
+      const Inst& perm = insts[loop.head + k];
+      uint8_t w = 0;
+      (void)isa::mmx_writes(perm, &w);
+      for (size_t j = k + 1; j < n; ++j) {
+        const Inst& use = insts[loop.head + j];
+        const bool reads = reads_mmx_reg(use, w);
+        if (reads) {
+          bool covered = false;
+          if (is_candidate_permutation(use.op) && la.removable[j]) {
+            covered = true;  // consumed only by another deleted permutation
+          } else if (sim::has_alu_semantics(use.op) &&
+                     !is_candidate_permutation(use.op)) {
+            // Every operand slot that reads `w` must be routed.
+            bool ok = true;
+            if (use.dst == w && !la.routing[j].a.routable) ok = false;
+            if (is_shift_op(use.op)) {
+              // Register-count shift: the count read is not routable.
+              if (!use.src_is_imm && use.src == w) ok = false;
+            } else if (use.src == w && !la.routing[j].b.routable) {
+              ok = false;
+            }
+            covered = ok;
+          }
+          if (!covered) {
+            la.removable[k] = false;
+            changed = true;
+            break;
+          }
+        }
+        uint8_t uw = 0;
+        if (isa::mmx_writes(use, &uw) && uw == w) break;  // redefined
+      }
+    }
+  }
+
+  for (size_t k = 0; k < n; ++k) {
+    if (la.removable[k]) ++la.removable_count;
+  }
+  return la;
+}
+
+}  // namespace subword::core

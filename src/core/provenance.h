@@ -1,0 +1,83 @@
+// provenance.h — byte-level dataflow analysis of inner loops.
+//
+// The orchestrator's job (paper §4: "the generation of the code for the SPU
+// is systematic and can be automated") is to find permutation instructions
+// in tight loops whose only effect is to re-arrange sub-words that are
+// already present in the register file, and to replace them with crossbar
+// routes attached to their consumers.
+//
+// The analysis tracks, for every byte of every MMX register across one loop
+// iteration, the *location* that produced its value: (register, byte,
+// definition time). A consumer operand byte is routable when the producing
+// location still holds that value at consume time (no intervening write to
+// the source register). Pure byte-rearranging instructions — register
+// moves and the six PUNPCK forms — propagate locations; everything else
+// (arithmetic, packs with saturation, loads) defines fresh locations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/crossbar.h"
+#include "isa/program.h"
+
+namespace subword::core {
+
+// Candidate permutations the orchestrator may delete: pure byte
+// rearrangements only. Pack instructions saturate and are therefore *not*
+// pure permutations; they always remain explicit.
+[[nodiscard]] bool is_candidate_permutation(isa::Op op);
+
+// out_byte -> (input operand 0|1, input byte) for a candidate permutation.
+using ByteMap = std::array<std::pair<int, int>, 8>;
+[[nodiscard]] ByteMap permutation_byte_map(isa::Op op);
+
+// A simple inner loop: straight-line body [head, branch] closed by a
+// backward Loopnz/Jnz at `branch` targeting `head`.
+struct Loop {
+  size_t head = 0;
+  size_t branch = 0;
+  [[nodiscard]] size_t body_len() const { return branch - head + 1; }
+};
+
+// All innermost simple loops of a program (no internal control flow, no
+// jumps from elsewhere into the middle of the body).
+[[nodiscard]] std::vector<Loop> find_inner_loops(const isa::Program& p);
+
+// Routing plan for one operand of one body instruction.
+struct OperandRouting {
+  bool attempted = false;  // operand produced by a candidate permutation
+  bool routable = false;   // all 8 bytes traceable + valid under the config
+  int32_t def = -1;        // body index of the producing permutation
+  std::array<uint8_t, 8> srcs{};  // SPU register byte address per byte
+  std::string reject;             // why routing failed (diagnostics)
+};
+
+struct InstRouting {
+  OperandRouting a;  // first operand (the instruction's dst register)
+  OperandRouting b;  // second operand (the instruction's src register)
+};
+
+struct LoopAnalysis {
+  Loop loop;
+  // One entry per body instruction (index relative to loop.head).
+  std::vector<InstRouting> routing;
+  std::vector<bool> removable;  // candidate permutations safe to delete
+  int removable_count = 0;
+  int candidate_count = 0;      // candidate permutations in the body
+  int permutation_count = 0;    // all is_permutation ops in the body
+  // Loop trip count, discovered from the `li` that initializes the Loopnz
+  // counter register; -1 when not statically known.
+  int64_t trip_count = -1;
+  uint8_t trip_reg = 0xFF;
+  std::string reject_reason;  // nonempty: loop cannot be orchestrated
+};
+
+// Full analysis of one loop under a crossbar configuration.
+[[nodiscard]] LoopAnalysis analyze_loop(const isa::Program& p,
+                                        const Loop& loop,
+                                        const CrossbarConfig& cfg);
+
+}  // namespace subword::core

@@ -1,0 +1,40 @@
+#include "core/setup.h"
+
+#include "core/mmio.h"
+
+namespace subword::core {
+
+void emit_spu_base(isa::Assembler& a, uint64_t mmio_base) {
+  // The window bases we use fit in the positive int32 immediate... except
+  // the default 0xF0000000 which needs assembling from shifted parts.
+  if (mmio_base <= 0x7FFFFFFFull) {
+    a.li(kSpuBaseReg, static_cast<int32_t>(mmio_base));
+    return;
+  }
+  a.li(kSpuBaseReg, static_cast<int32_t>(mmio_base >> 16));
+  a.sshli(kSpuBaseReg, 16);
+}
+
+void emit_spu_words(isa::Assembler& a,
+                    const std::vector<std::pair<uint32_t, uint32_t>>& words) {
+  for (const auto& [offset, value] : words) {
+    a.li(kSpuScratchReg, static_cast<int32_t>(value));
+    a.st32(kSpuBaseReg, static_cast<int32_t>(offset), kSpuScratchReg);
+  }
+}
+
+void emit_spu_go(isa::Assembler& a, int context) {
+  const uint32_t word = (static_cast<uint32_t>(context) << 1) | 1u;
+  a.li(kSpuScratchReg, static_cast<int32_t>(word));
+  a.st32(kSpuBaseReg, static_cast<int32_t>(SpuMmio::kConfigReg),
+         kSpuScratchReg);
+}
+
+void emit_spu_stop(isa::Assembler& a, int context) {
+  const uint32_t word = static_cast<uint32_t>(context) << 1;
+  a.li(kSpuScratchReg, static_cast<int32_t>(word));
+  a.st32(kSpuBaseReg, static_cast<int32_t>(SpuMmio::kConfigReg),
+         kSpuScratchReg);
+}
+
+}  // namespace subword::core

@@ -1,0 +1,41 @@
+// setup.h — emission of SPU programming code into simulated programs.
+//
+// The SPU is programmed through ordinary stores to its memory-mapped
+// window, so the programming cost is real simulated work ("the startup
+// cost of programming the SPU needs to be considered carefully", paper §4).
+// By convention R14 holds the window base and R15 is the value scratch;
+// programs that want orchestration must leave those registers free.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "isa/assembler.h"
+
+namespace subword::core {
+
+inline constexpr uint8_t kSpuBaseReg = isa::R14;
+inline constexpr uint8_t kSpuScratchReg = isa::R15;
+
+// Loads the window base into R14 (once, at program start).
+void emit_spu_base(isa::Assembler& a, uint64_t mmio_base);
+
+// Emits li/st32 pairs for an MMIO word stream (from MicroBuilder).
+void emit_spu_words(isa::Assembler& a,
+                    const std::vector<std::pair<uint32_t, uint32_t>>& words);
+
+// Emits the CONFIG write that selects `context` and sets GO. Must be the
+// last instruction before the loop head: the controller starts stepping on
+// the next retired instruction.
+void emit_spu_go(isa::Assembler& a, int context);
+
+// Emits the CONFIG write that stops the SPU (exception handlers, paper §4).
+void emit_spu_stop(isa::Assembler& a, int context);
+
+// Instruction cost of emit_spu_words for a given stream (2 per word).
+[[nodiscard]] inline size_t setup_instruction_count(size_t words) {
+  return 2 * words;
+}
+
+}  // namespace subword::core

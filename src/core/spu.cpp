@@ -1,0 +1,96 @@
+#include "core/spu.h"
+
+#include <stdexcept>
+
+namespace subword::core {
+
+Spu::Spu(CrossbarConfig cfg, int num_contexts) : cfg_(cfg) {
+  if (num_contexts < 1) {
+    throw std::invalid_argument("Spu: need at least one context");
+  }
+  contexts_.resize(static_cast<size_t>(num_contexts));
+}
+
+void Spu::select_context(int i) {
+  if (i < 0 || i >= num_contexts()) {
+    throw std::out_of_range("Spu: context index out of range");
+  }
+  cur_context_ = i;
+}
+
+void Spu::go() {
+  const auto& prog = contexts_[static_cast<size_t>(cur_context_)];
+  const auto v = prog.violation(cfg_);
+  if (!v.empty()) {
+    throw std::logic_error("Spu::go: microprogram violates crossbar "
+                           "configuration: " + v);
+  }
+  go_ = true;
+  cur_state_ = 0;
+  for (int i = 0; i < kNumCounters; ++i) counter_[static_cast<size_t>(i)] = prog.reload[static_cast<size_t>(i)];
+  ++stats_.activations;
+}
+
+void Spu::stop() {
+  go_ = false;
+  cur_state_ = kIdleState;
+  const auto& prog = contexts_[static_cast<size_t>(cur_context_)];
+  for (int i = 0; i < kNumCounters; ++i) counter_[static_cast<size_t>(i)] = prog.reload[static_cast<size_t>(i)];
+}
+
+bool Spu::route(const isa::Inst& /*in*/, sim::Pipe pipe,
+                const sim::MmxRegFile& regs, swar::Vec64* a,
+                swar::Vec64* b) {
+  if (!go_) return false;
+  const auto& st =
+      contexts_[static_cast<size_t>(cur_context_)].states[cur_state_];
+  bool any = false;
+  if (st.route.routes_operand(pipe, 0)) {
+    *a = apply_route(st.route, pipe, 0, regs, *a);
+    any = true;
+    ++stats_.routed_operands;
+  }
+  if (st.route.routes_operand(pipe, 1)) {
+    *b = apply_route(st.route, pipe, 1, regs, *b);
+    any = true;
+    ++stats_.routed_operands;
+  }
+  return any;
+}
+
+void Spu::retire(const isa::Inst& /*in*/) {
+  if (!go_) return;
+  if (skip_next_retire_) {
+    // The store that set GO retires after activation; it is not part of
+    // the loop the microprogram describes.
+    skip_next_retire_ = false;
+    return;
+  }
+  auto& prog = contexts_[static_cast<size_t>(cur_context_)];
+  const auto& st = prog.states[cur_state_];
+  ++stats_.steps;
+
+  uint32_t& cnt = counter_[st.cntr_sel];
+  if (cnt > 0) --cnt;
+  const bool exhausted = (cnt == 0);
+  if (exhausted) {
+    // "The SPU automatically restores the CNTR value to its original
+    // programmed state after reaching zero" — this is what makes nested
+    // loops zero-overhead: the inner counter is ready again by the time
+    // the outer loop re-enters the inner states.
+    cnt = prog.reload[st.cntr_sel];
+  }
+  const uint8_t next = exhausted ? st.next0 : st.next1;
+  if (next == kIdleState) {
+    go_ = false;
+    cur_state_ = kIdleState;
+    for (int i = 0; i < kNumCounters; ++i) {
+      counter_[static_cast<size_t>(i)] = prog.reload[static_cast<size_t>(i)];
+    }
+    ++stats_.idles;
+  } else {
+    cur_state_ = next;
+  }
+}
+
+}  // namespace subword::core

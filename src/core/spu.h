@@ -1,0 +1,82 @@
+// spu.h — the Sub-word Permutation Unit runtime.
+//
+// Implements sim::OperandRouter: while the GO bit is set, the controller
+// walks its microprogram in lock-step with the retired instruction stream,
+// applying each state's interconnect route to the operand fetch of the MMX
+// instruction at that step. Reaching the IDLE state clears GO and reloads
+// the counters, making tight loops fully self-managing ("zero-overhead").
+//
+// Multiple contexts hold independently programmed microprograms; a write to
+// the configuration register selects the context and sets GO (paper §3:
+// "several copies of the SPU control registers, allowing for fast context
+// switching").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spu_program.h"
+#include "sim/router.h"
+
+namespace subword::core {
+
+struct SpuRunStats {
+  uint64_t steps = 0;          // controller transitions while active
+  uint64_t routed_operands = 0;  // operand fetches that used the crossbar
+  uint64_t activations = 0;      // GO writes
+  uint64_t idles = 0;            // transitions into IDLE
+};
+
+class Spu final : public sim::OperandRouter {
+ public:
+  explicit Spu(CrossbarConfig cfg, int num_contexts = 1);
+
+  [[nodiscard]] const CrossbarConfig& config() const { return cfg_; }
+  [[nodiscard]] int num_contexts() const {
+    return static_cast<int>(contexts_.size());
+  }
+
+  // Direct programming interface (tests / builders). MMIO programming in
+  // mmio.h writes through to these.
+  [[nodiscard]] SpuProgram& context(int i) { return contexts_.at(i); }
+  [[nodiscard]] const SpuProgram& context(int i) const {
+    return contexts_.at(i);
+  }
+  [[nodiscard]] int selected_context() const { return cur_context_; }
+  void select_context(int i);
+
+  // Activate: validates the selected context against the crossbar
+  // configuration (throws std::logic_error on violation), enters state 0
+  // and loads the counters. The activating MMIO store itself does not step
+  // the controller.
+  void go();
+  // Deactivate (exception handlers write this; paper §4).
+  void stop();
+
+  [[nodiscard]] bool active() const override { return go_; }
+  [[nodiscard]] uint8_t current_state() const { return cur_state_; }
+  [[nodiscard]] uint32_t counter(int i) const { return counter_.at(i); }
+
+  bool route(const isa::Inst& in, sim::Pipe pipe,
+             const sim::MmxRegFile& regs, swar::Vec64* a,
+             swar::Vec64* b) override;
+  void retire(const isa::Inst& in) override;
+
+  [[nodiscard]] const SpuRunStats& run_stats() const { return stats_; }
+
+  // Used by the MMIO device to suppress the controller step of the
+  // activating store instruction.
+  void arm_activation_skip() { skip_next_retire_ = true; }
+
+ private:
+  CrossbarConfig cfg_;
+  std::vector<SpuProgram> contexts_;
+  int cur_context_ = 0;
+  uint8_t cur_state_ = kIdleState;
+  std::array<uint32_t, kNumCounters> counter_{};
+  bool go_ = false;
+  bool skip_next_retire_ = false;
+  SpuRunStats stats_;
+};
+
+}  // namespace subword::core

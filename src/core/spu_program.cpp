@@ -1,0 +1,38 @@
+#include "core/spu_program.h"
+
+namespace subword::core {
+
+SpuProgram::SpuProgram() {
+  // Idle state self-loops; all states start pointing at IDLE so an
+  // unprogrammed SPU deactivates after one step.
+  states[kIdleState].next0 = kIdleState;
+  states[kIdleState].next1 = kIdleState;
+}
+
+std::string SpuProgram::violation(const CrossbarConfig& cfg) const {
+  for (const auto& st : states) {
+    auto v = route_violation(st.route, cfg);
+    if (!v.empty()) return v;
+  }
+  return {};
+}
+
+int SpuProgram::reachable_states() const {
+  std::array<bool, kNumStates> seen{};
+  int count = 0;
+  // Both successors are followed; bounded by the state count.
+  std::array<uint8_t, kNumStates> stack;
+  int top = 0;
+  stack[top++] = 0;
+  while (top > 0) {
+    const uint8_t s = stack[--top];
+    if (s == kIdleState || seen[s]) continue;
+    seen[s] = true;
+    ++count;
+    stack[top++] = states[s].next0;
+    stack[top++] = states[s].next1;
+  }
+  return count;
+}
+
+}  // namespace subword::core

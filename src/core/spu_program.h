@@ -1,0 +1,48 @@
+// spu_program.h — the decoupled controller's microprogram (Figure 6).
+//
+// Each of the 128 states is a horizontal micro-word:
+//   CNTRx        which of the two counters this state uses (1 bit)
+//   route        the interconnect field (output-port source selects)
+//   NextState0   successor when the selected counter reaches zero (7 bits)
+//   NextState1   successor otherwise (7 bits)
+//
+// State 127 is the hard-wired IDLE state: reaching it disables the SPU and
+// restores the counters to their programmed reload values. The counters are
+// loaded with *dynamic instruction counts* (trip count x static loop
+// length, Figure 7's CNTR0 = 10 * 3 = 30 example).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/crossbar.h"
+
+namespace subword::core {
+
+inline constexpr int kNumStates = 128;
+inline constexpr uint8_t kIdleState = 127;
+inline constexpr int kNumCounters = 2;  // the 1-bit CNTRx field of Figure 6
+
+struct SpuState {
+  uint8_t cntr_sel = 0;
+  Route route;
+  uint8_t next0 = kIdleState;
+  uint8_t next1 = kIdleState;
+};
+
+struct SpuProgram {
+  std::array<SpuState, kNumStates> states{};
+  std::array<uint32_t, kNumCounters> reload{};
+
+  SpuProgram();
+
+  // Validity of every routed state under a crossbar configuration; returns
+  // the first violation or empty string.
+  [[nodiscard]] std::string violation(const CrossbarConfig& cfg) const;
+
+  // States reachable from state 0 before IDLE (for programming-cost
+  // accounting).
+  [[nodiscard]] int reachable_states() const;
+};
+
+}  // namespace subword::core

@@ -1,0 +1,100 @@
+#include "hw/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "core/spu_program.h"
+
+namespace subword::hw {
+namespace {
+
+// Published Table 1 calibration points (0.25um, 2 metal layers).
+struct Calibration {
+  std::string_view name;
+  double area_mm2;
+  double delay_ns;
+  double control_mem_mm2;
+};
+constexpr Calibration kTable1[] = {
+    {"A", 8.14, 3.14, 1.35},
+    {"B", 4.07, 2.29, 1.10},
+    {"C", 4.72, 1.95, 0.60},
+    {"D", 2.36, 0.95, 0.50},
+};
+
+// Fitted constants (see header).
+constexpr double kCrosspoint8 = 8.14 / (64.0 * 32.0);    // mm^2, 8-bit port
+constexpr double kCrosspoint16 = 4.72 / (32.0 * 16.0);   // mm^2, 16-bit port
+constexpr double kSramBitArea = 4.97e-5;                 // mm^2 per bit
+// Delay fit: linear in log2(crosspoints) across the four published points
+// (3.14/2.29/1.95/0.95 ns at 2048/1024/512/256 crosspoints); residuals are
+// within ~12%, consistent with layout-level noise.
+constexpr double kDelaySlope = 0.73;    // ns per doubling of crosspoints
+constexpr double kDelayOffset = -4.85;  // ns
+constexpr double kDelayFloor = 0.2;     // ns
+
+}  // namespace
+
+SpuCost model_cost(const core::CrossbarConfig& cfg) {
+  SpuCost c;
+  const double crosspoints = static_cast<double>(cfg.crosspoints());
+  double k;
+  if (cfg.port_bits == 8) {
+    k = kCrosspoint8;
+  } else if (cfg.port_bits == 16) {
+    k = kCrosspoint16;
+  } else {
+    // Interpolate in log space between the measured 8- and 16-bit ports.
+    const double exp = std::log2(kCrosspoint16 / kCrosspoint8);
+    k = kCrosspoint8 * std::pow(cfg.port_bits / 8.0, exp);
+  }
+  c.crossbar_area_mm2 = crosspoints * k;
+  c.control_mem_bits = core::kNumStates * cfg.control_word_bits();
+  c.control_mem_area_mm2 = c.control_mem_bits * kSramBitArea;
+  c.crossbar_delay_ns =
+      std::max(kDelayFloor, kDelaySlope * std::log2(crosspoints) +
+                                kDelayOffset);
+  c.calibrated = false;
+  return c;
+}
+
+SpuCost estimate_cost(const core::CrossbarConfig& cfg) {
+  for (const auto& cal : kTable1) {
+    bool match = false;
+    if (cal.name == "A") {
+      match = cfg.input_ports == 64 && cfg.output_ports == 32 &&
+              cfg.port_bits == 8;
+    } else if (cal.name == "B") {
+      match = cfg.input_ports == 32 && cfg.output_ports == 32 &&
+              cfg.port_bits == 8;
+    } else if (cal.name == "C") {
+      match = cfg.input_ports == 32 && cfg.output_ports == 16 &&
+              cfg.port_bits == 16;
+    } else {
+      match = cfg.input_ports == 16 && cfg.output_ports == 16 &&
+              cfg.port_bits == 16;
+    }
+    if (match) {
+      SpuCost c = model_cost(cfg);
+      c.crossbar_area_mm2 = cal.area_mm2;
+      c.crossbar_delay_ns = cal.delay_ns;
+      c.control_mem_area_mm2 = cal.control_mem_mm2;
+      c.calibrated = true;
+      return c;
+    }
+  }
+  return model_cost(cfg);
+}
+
+double scale_to_018um(double area_mm2_025) {
+  constexpr double kLinearShrink = 0.18 / 0.25;
+  constexpr double kMetalLayerFactor = 0.5;  // 2 -> 6 routing layers
+  return area_mm2_025 * kLinearShrink * kLinearShrink * kMetalLayerFactor;
+}
+
+double pentium3_die_fraction(double area_mm2_018) {
+  return area_mm2_018 / kPentium3DieMm2;
+}
+
+}  // namespace subword::hw

@@ -1,0 +1,54 @@
+// cost_model.h — area/delay estimation for SPU configurations (Table 1).
+//
+// The paper derives area and delay from the layout of the Princeton VSP
+// folded-crossbar datapath (0.25um CMOS, 2 metal layers) and gives four
+// calibration points (configurations A-D). We reproduce those numbers two
+// ways:
+//
+//  * a *calibration table* holding the published values for A-D, and
+//  * an *analytical model* fitted to them:
+//      - crossbar area   = crosspoints x k(port_bits)
+//        (k measured from the published points: the 8-bit crosspoint is
+//         3.97e-3 mm^2, the 16-bit crosspoint 9.22e-3 mm^2 — both pairs of
+//         published configs agree on these to three digits)
+//      - control memory  = 128 x (15 + W) bits at ~4.97e-5 mm^2/bit, where
+//        W is the interconnect field width (the paper's "128*(15+K)")
+//      - crossbar delay  = 0.73 x log2(crosspoints) - 4.85 ns (published
+//        points fit within ~12%; delay is layout-dominated, so the
+//        calibrated values are preferred when available).
+//
+// Die-fraction arithmetic follows §5.1.1: scale 0.25um/2LM areas to a
+// 0.18um/6LM Pentium III (106 mm^2): linear shrink squared x a metal-layer
+// wiring factor of 1/2 for the wiring-dominated crossbar.
+#pragma once
+
+#include <optional>
+
+#include "core/crossbar.h"
+
+namespace subword::hw {
+
+struct SpuCost {
+  double crossbar_area_mm2 = 0;   // 0.25um, 2 metal layers
+  double crossbar_delay_ns = 0;
+  double control_mem_area_mm2 = 0;
+  int control_mem_bits = 0;
+  bool calibrated = false;  // true when taken from the published Table 1
+};
+
+// Published Table 1 values when `cfg` is one of A-D, else analytical.
+[[nodiscard]] SpuCost estimate_cost(const core::CrossbarConfig& cfg);
+
+// Pure analytical model (never consults the calibration table) — used to
+// validate the fit against the published points and for arbitrary sizes.
+[[nodiscard]] SpuCost model_cost(const core::CrossbarConfig& cfg);
+
+// 0.25um/2LM -> 0.18um/6LM area scaling for wiring-dominated structures.
+[[nodiscard]] double scale_to_018um(double area_mm2_025);
+
+// Fraction of the 106 mm^2 0.18um Pentium III die.
+[[nodiscard]] double pentium3_die_fraction(double area_mm2_018);
+
+inline constexpr double kPentium3DieMm2 = 106.0;
+
+}  // namespace subword::hw

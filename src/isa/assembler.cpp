@@ -1,0 +1,370 @@
+#include "isa/assembler.h"
+
+#include <stdexcept>
+
+namespace subword::isa {
+namespace {
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::logic_error(msg);
+}
+
+void check_mm(uint8_t r) { check(r < kNumMmxRegs, "MMX register out of range"); }
+void check_gp(uint8_t r) { check(r < kNumGpRegs, "GP register out of range"); }
+
+}  // namespace
+
+void Assembler::label(const std::string& name) {
+  check(!labels_.contains(name), "duplicate label");
+  labels_[name] = static_cast<int32_t>(insts_.size());
+}
+
+// --- private emit helpers ----------------------------------------------------
+
+void Assembler::mmx_rr(Op op, uint8_t d, uint8_t s) {
+  check_mm(d);
+  check_mm(s);
+  Inst in;
+  in.op = op;
+  in.dst = d;
+  in.src = s;
+  insts_.push_back(in);
+}
+
+void Assembler::mmx_shift_imm(Op op, uint8_t d, uint8_t count) {
+  check_mm(d);
+  Inst in;
+  in.op = op;
+  in.dst = d;
+  in.imm8 = count;
+  in.src_is_imm = true;
+  insts_.push_back(in);
+}
+
+void Assembler::mmx_shift_reg(Op op, uint8_t d, uint8_t count_mm) {
+  check_mm(d);
+  check_mm(count_mm);
+  Inst in;
+  in.op = op;
+  in.dst = d;
+  in.src = count_mm;
+  in.src_is_imm = false;
+  insts_.push_back(in);
+}
+
+void Assembler::scalar_rr(Op op, uint8_t d, uint8_t s) {
+  check_gp(d);
+  check_gp(s);
+  Inst in;
+  in.op = op;
+  in.dst = d;
+  in.src = s;
+  insts_.push_back(in);
+}
+
+void Assembler::scalar_imm(Op op, uint8_t d, int32_t imm) {
+  check_gp(d);
+  Inst in;
+  in.op = op;
+  in.dst = d;
+  in.disp = imm;
+  insts_.push_back(in);
+}
+
+void Assembler::branch(Op op, uint8_t reg, const std::string& lbl) {
+  if (op != Op::Jmp) check_gp(reg);
+  Inst in;
+  in.op = op;
+  in.src = reg;
+  auto it = labels_.find(lbl);
+  if (it != labels_.end()) {
+    in.target = it->second;
+  } else {
+    fixups_.emplace_back(insts_.size(), lbl);
+  }
+  insts_.push_back(in);
+}
+
+// --- MMX movement ------------------------------------------------------------
+
+void Assembler::movq(uint8_t d, uint8_t s) { mmx_rr(Op::MovqRR, d, s); }
+
+void Assembler::movq_load(uint8_t d, uint8_t base, int32_t disp) {
+  check_mm(d);
+  check_gp(base);
+  Inst in;
+  in.op = Op::MovqLoad;
+  in.dst = d;
+  in.base = base;
+  in.disp = disp;
+  insts_.push_back(in);
+}
+
+void Assembler::movq_store(uint8_t base, int32_t disp, uint8_t s) {
+  check_mm(s);
+  check_gp(base);
+  Inst in;
+  in.op = Op::MovqStore;
+  in.src = s;
+  in.base = base;
+  in.disp = disp;
+  insts_.push_back(in);
+}
+
+void Assembler::movd_load(uint8_t d, uint8_t base, int32_t disp) {
+  check_mm(d);
+  check_gp(base);
+  Inst in;
+  in.op = Op::MovdLoad;
+  in.dst = d;
+  in.base = base;
+  in.disp = disp;
+  insts_.push_back(in);
+}
+
+void Assembler::movd_store(uint8_t base, int32_t disp, uint8_t s) {
+  check_mm(s);
+  check_gp(base);
+  Inst in;
+  in.op = Op::MovdStore;
+  in.src = s;
+  in.base = base;
+  in.disp = disp;
+  insts_.push_back(in);
+}
+
+void Assembler::movd_to_mmx(uint8_t d, uint8_t s) {
+  check_mm(d);
+  check_gp(s);
+  Inst in;
+  in.op = Op::MovdToMmx;
+  in.dst = d;
+  in.src = s;
+  insts_.push_back(in);
+}
+
+void Assembler::movd_from_mmx(uint8_t d, uint8_t s) {
+  check_gp(d);
+  check_mm(s);
+  Inst in;
+  in.op = Op::MovdFromMmx;
+  in.dst = d;
+  in.src = s;
+  insts_.push_back(in);
+}
+
+// --- MMX packed arithmetic -----------------------------------------------------
+
+void Assembler::paddb(uint8_t d, uint8_t s) { mmx_rr(Op::Paddb, d, s); }
+void Assembler::paddw(uint8_t d, uint8_t s) { mmx_rr(Op::Paddw, d, s); }
+void Assembler::paddd(uint8_t d, uint8_t s) { mmx_rr(Op::Paddd, d, s); }
+void Assembler::psubb(uint8_t d, uint8_t s) { mmx_rr(Op::Psubb, d, s); }
+void Assembler::psubw(uint8_t d, uint8_t s) { mmx_rr(Op::Psubw, d, s); }
+void Assembler::psubd(uint8_t d, uint8_t s) { mmx_rr(Op::Psubd, d, s); }
+void Assembler::paddsb(uint8_t d, uint8_t s) { mmx_rr(Op::Paddsb, d, s); }
+void Assembler::paddsw(uint8_t d, uint8_t s) { mmx_rr(Op::Paddsw, d, s); }
+void Assembler::paddusb(uint8_t d, uint8_t s) { mmx_rr(Op::Paddusb, d, s); }
+void Assembler::paddusw(uint8_t d, uint8_t s) { mmx_rr(Op::Paddusw, d, s); }
+void Assembler::psubsb(uint8_t d, uint8_t s) { mmx_rr(Op::Psubsb, d, s); }
+void Assembler::psubsw(uint8_t d, uint8_t s) { mmx_rr(Op::Psubsw, d, s); }
+void Assembler::psubusb(uint8_t d, uint8_t s) { mmx_rr(Op::Psubusb, d, s); }
+void Assembler::psubusw(uint8_t d, uint8_t s) { mmx_rr(Op::Psubusw, d, s); }
+void Assembler::pmullw(uint8_t d, uint8_t s) { mmx_rr(Op::Pmullw, d, s); }
+void Assembler::pmulhw(uint8_t d, uint8_t s) { mmx_rr(Op::Pmulhw, d, s); }
+void Assembler::pmaddwd(uint8_t d, uint8_t s) { mmx_rr(Op::Pmaddwd, d, s); }
+void Assembler::pcmpeqb(uint8_t d, uint8_t s) { mmx_rr(Op::Pcmpeqb, d, s); }
+void Assembler::pcmpeqw(uint8_t d, uint8_t s) { mmx_rr(Op::Pcmpeqw, d, s); }
+void Assembler::pcmpeqd(uint8_t d, uint8_t s) { mmx_rr(Op::Pcmpeqd, d, s); }
+void Assembler::pcmpgtb(uint8_t d, uint8_t s) { mmx_rr(Op::Pcmpgtb, d, s); }
+void Assembler::pcmpgtw(uint8_t d, uint8_t s) { mmx_rr(Op::Pcmpgtw, d, s); }
+void Assembler::pcmpgtd(uint8_t d, uint8_t s) { mmx_rr(Op::Pcmpgtd, d, s); }
+void Assembler::pand(uint8_t d, uint8_t s) { mmx_rr(Op::Pand, d, s); }
+void Assembler::pandn(uint8_t d, uint8_t s) { mmx_rr(Op::Pandn, d, s); }
+void Assembler::por(uint8_t d, uint8_t s) { mmx_rr(Op::Por, d, s); }
+void Assembler::pxor(uint8_t d, uint8_t s) { mmx_rr(Op::Pxor, d, s); }
+
+// --- MMX shifts ----------------------------------------------------------------
+
+void Assembler::psllw(uint8_t d, uint8_t c) { mmx_shift_imm(Op::Psllw, d, c); }
+void Assembler::pslld(uint8_t d, uint8_t c) { mmx_shift_imm(Op::Pslld, d, c); }
+void Assembler::psllq(uint8_t d, uint8_t c) { mmx_shift_imm(Op::Psllq, d, c); }
+void Assembler::psrlw(uint8_t d, uint8_t c) { mmx_shift_imm(Op::Psrlw, d, c); }
+void Assembler::psrld(uint8_t d, uint8_t c) { mmx_shift_imm(Op::Psrld, d, c); }
+void Assembler::psrlq(uint8_t d, uint8_t c) { mmx_shift_imm(Op::Psrlq, d, c); }
+void Assembler::psraw(uint8_t d, uint8_t c) { mmx_shift_imm(Op::Psraw, d, c); }
+void Assembler::psrad(uint8_t d, uint8_t c) { mmx_shift_imm(Op::Psrad, d, c); }
+void Assembler::psllw_reg(uint8_t d, uint8_t c) {
+  mmx_shift_reg(Op::Psllw, d, c);
+}
+void Assembler::psrlq_reg(uint8_t d, uint8_t c) {
+  mmx_shift_reg(Op::Psrlq, d, c);
+}
+
+// --- MMX pack / unpack -----------------------------------------------------------
+
+void Assembler::packsswb(uint8_t d, uint8_t s) { mmx_rr(Op::Packsswb, d, s); }
+void Assembler::packssdw(uint8_t d, uint8_t s) { mmx_rr(Op::Packssdw, d, s); }
+void Assembler::packuswb(uint8_t d, uint8_t s) { mmx_rr(Op::Packuswb, d, s); }
+void Assembler::punpcklbw(uint8_t d, uint8_t s) { mmx_rr(Op::Punpcklbw, d, s); }
+void Assembler::punpcklwd(uint8_t d, uint8_t s) { mmx_rr(Op::Punpcklwd, d, s); }
+void Assembler::punpckldq(uint8_t d, uint8_t s) { mmx_rr(Op::Punpckldq, d, s); }
+void Assembler::punpckhbw(uint8_t d, uint8_t s) { mmx_rr(Op::Punpckhbw, d, s); }
+void Assembler::punpckhwd(uint8_t d, uint8_t s) { mmx_rr(Op::Punpckhwd, d, s); }
+void Assembler::punpckhdq(uint8_t d, uint8_t s) { mmx_rr(Op::Punpckhdq, d, s); }
+
+void Assembler::emms() {
+  Inst in;
+  in.op = Op::Emms;
+  insts_.push_back(in);
+}
+
+// --- scalar ----------------------------------------------------------------------
+
+void Assembler::li(uint8_t d, int32_t imm) { scalar_imm(Op::Li, d, imm); }
+void Assembler::smov(uint8_t d, uint8_t s) { scalar_rr(Op::SMov, d, s); }
+void Assembler::sadd(uint8_t d, uint8_t s) { scalar_rr(Op::SAdd, d, s); }
+void Assembler::saddi(uint8_t d, int32_t imm) { scalar_imm(Op::SAddi, d, imm); }
+void Assembler::ssub(uint8_t d, uint8_t s) { scalar_rr(Op::SSub, d, s); }
+void Assembler::ssubi(uint8_t d, int32_t imm) { scalar_imm(Op::SSubi, d, imm); }
+void Assembler::smul(uint8_t d, uint8_t s) { scalar_rr(Op::SMul, d, s); }
+
+void Assembler::sshli(uint8_t d, uint8_t sh) {
+  check_gp(d);
+  Inst in;
+  in.op = Op::SShli;
+  in.dst = d;
+  in.imm8 = sh;
+  insts_.push_back(in);
+}
+
+void Assembler::sshri(uint8_t d, uint8_t sh) {
+  check_gp(d);
+  Inst in;
+  in.op = Op::SShri;
+  in.dst = d;
+  in.imm8 = sh;
+  insts_.push_back(in);
+}
+
+void Assembler::ssrai(uint8_t d, uint8_t sh) {
+  check_gp(d);
+  Inst in;
+  in.op = Op::SSrai;
+  in.dst = d;
+  in.imm8 = sh;
+  insts_.push_back(in);
+}
+
+void Assembler::sand(uint8_t d, uint8_t s) { scalar_rr(Op::SAnd, d, s); }
+void Assembler::sor(uint8_t d, uint8_t s) { scalar_rr(Op::SOr, d, s); }
+void Assembler::sxor(uint8_t d, uint8_t s) { scalar_rr(Op::SXor, d, s); }
+
+void Assembler::ld16(uint8_t d, uint8_t base, int32_t disp) {
+  check_gp(d);
+  check_gp(base);
+  Inst in;
+  in.op = Op::SLoad16;
+  in.dst = d;
+  in.base = base;
+  in.disp = disp;
+  insts_.push_back(in);
+}
+
+void Assembler::ld32(uint8_t d, uint8_t base, int32_t disp) {
+  check_gp(d);
+  check_gp(base);
+  Inst in;
+  in.op = Op::SLoad32;
+  in.dst = d;
+  in.base = base;
+  in.disp = disp;
+  insts_.push_back(in);
+}
+
+void Assembler::ld64(uint8_t d, uint8_t base, int32_t disp) {
+  check_gp(d);
+  check_gp(base);
+  Inst in;
+  in.op = Op::SLoad64;
+  in.dst = d;
+  in.base = base;
+  in.disp = disp;
+  insts_.push_back(in);
+}
+
+void Assembler::st16(uint8_t base, int32_t disp, uint8_t s) {
+  check_gp(s);
+  check_gp(base);
+  Inst in;
+  in.op = Op::SStore16;
+  in.src = s;
+  in.base = base;
+  in.disp = disp;
+  insts_.push_back(in);
+}
+
+void Assembler::st32(uint8_t base, int32_t disp, uint8_t s) {
+  check_gp(s);
+  check_gp(base);
+  Inst in;
+  in.op = Op::SStore32;
+  in.src = s;
+  in.base = base;
+  in.disp = disp;
+  insts_.push_back(in);
+}
+
+void Assembler::st64(uint8_t base, int32_t disp, uint8_t s) {
+  check_gp(s);
+  check_gp(base);
+  Inst in;
+  in.op = Op::SStore64;
+  in.src = s;
+  in.base = base;
+  in.disp = disp;
+  insts_.push_back(in);
+}
+
+// --- control ------------------------------------------------------------------------
+
+void Assembler::jmp(const std::string& lbl) { branch(Op::Jmp, 0, lbl); }
+void Assembler::jnz(uint8_t r, const std::string& lbl) {
+  branch(Op::Jnz, r, lbl);
+}
+void Assembler::jz(uint8_t r, const std::string& lbl) {
+  branch(Op::Jz, r, lbl);
+}
+void Assembler::loopnz(uint8_t r, const std::string& lbl) {
+  branch(Op::Loopnz, r, lbl);
+}
+
+void Assembler::nop() {
+  Inst in;
+  in.op = Op::Nop;
+  insts_.push_back(in);
+}
+
+void Assembler::halt() {
+  Inst in;
+  in.op = Op::Halt;
+  insts_.push_back(in);
+}
+
+void Assembler::emit(const Inst& in) { insts_.push_back(in); }
+
+Program Assembler::take() {
+  for (const auto& [index, lbl] : fixups_) {
+    auto it = labels_.find(lbl);
+    if (it == labels_.end()) {
+      throw std::logic_error("undefined label: " + lbl);
+    }
+    insts_[index].target = it->second;
+  }
+  fixups_.clear();
+  Program p(std::move(insts_), std::move(labels_));
+  insts_ = {};
+  labels_ = {};
+  return p;
+}
+
+}  // namespace subword::isa

@@ -1,0 +1,147 @@
+// assembler.h — builder API for simulated programs.
+//
+// Kernels are written against this interface in the style of the paper's
+// pseudo-assembly:
+//
+//   Assembler a;
+//   a.li(R1, 150);
+//   a.label("loop");
+//   a.movq_load(MM0, R2, 0);
+//   a.pmaddwd(MM0, MM1);
+//   a.loopnz(R1, "loop");
+//   a.halt();
+//   Program p = a.take();
+//
+// Forward references to labels are allowed and patched at take().
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace subword::isa {
+
+class Assembler {
+ public:
+  // --- label handling -------------------------------------------------------
+  void label(const std::string& name);
+
+  // --- MMX data movement ----------------------------------------------------
+  void movq(uint8_t dst_mm, uint8_t src_mm);               // register copy
+  void movq_load(uint8_t dst_mm, uint8_t base_gp, int32_t disp);
+  void movq_store(uint8_t base_gp, int32_t disp, uint8_t src_mm);
+  void movd_load(uint8_t dst_mm, uint8_t base_gp, int32_t disp);
+  void movd_store(uint8_t base_gp, int32_t disp, uint8_t src_mm);
+  void movd_to_mmx(uint8_t dst_mm, uint8_t src_gp);
+  void movd_from_mmx(uint8_t dst_gp, uint8_t src_mm);
+
+  // --- MMX packed arithmetic (dst op= src) -----------------------------------
+  void paddb(uint8_t d, uint8_t s);
+  void paddw(uint8_t d, uint8_t s);
+  void paddd(uint8_t d, uint8_t s);
+  void psubb(uint8_t d, uint8_t s);
+  void psubw(uint8_t d, uint8_t s);
+  void psubd(uint8_t d, uint8_t s);
+  void paddsb(uint8_t d, uint8_t s);
+  void paddsw(uint8_t d, uint8_t s);
+  void paddusb(uint8_t d, uint8_t s);
+  void paddusw(uint8_t d, uint8_t s);
+  void psubsb(uint8_t d, uint8_t s);
+  void psubsw(uint8_t d, uint8_t s);
+  void psubusb(uint8_t d, uint8_t s);
+  void psubusw(uint8_t d, uint8_t s);
+  void pmullw(uint8_t d, uint8_t s);
+  void pmulhw(uint8_t d, uint8_t s);
+  void pmaddwd(uint8_t d, uint8_t s);
+  void pcmpeqb(uint8_t d, uint8_t s);
+  void pcmpeqw(uint8_t d, uint8_t s);
+  void pcmpeqd(uint8_t d, uint8_t s);
+  void pcmpgtb(uint8_t d, uint8_t s);
+  void pcmpgtw(uint8_t d, uint8_t s);
+  void pcmpgtd(uint8_t d, uint8_t s);
+  void pand(uint8_t d, uint8_t s);
+  void pandn(uint8_t d, uint8_t s);
+  void por(uint8_t d, uint8_t s);
+  void pxor(uint8_t d, uint8_t s);
+
+  // --- MMX shifts (immediate-count and register-count forms) ----------------
+  void psllw(uint8_t d, uint8_t count_imm);
+  void pslld(uint8_t d, uint8_t count_imm);
+  void psllq(uint8_t d, uint8_t count_imm);
+  void psrlw(uint8_t d, uint8_t count_imm);
+  void psrld(uint8_t d, uint8_t count_imm);
+  void psrlq(uint8_t d, uint8_t count_imm);
+  void psraw(uint8_t d, uint8_t count_imm);
+  void psrad(uint8_t d, uint8_t count_imm);
+  void psllw_reg(uint8_t d, uint8_t count_mm);
+  void psrlq_reg(uint8_t d, uint8_t count_mm);
+
+  // --- MMX pack / unpack ------------------------------------------------------
+  void packsswb(uint8_t d, uint8_t s);
+  void packssdw(uint8_t d, uint8_t s);
+  void packuswb(uint8_t d, uint8_t s);
+  void punpcklbw(uint8_t d, uint8_t s);
+  void punpcklwd(uint8_t d, uint8_t s);
+  void punpckldq(uint8_t d, uint8_t s);
+  void punpckhbw(uint8_t d, uint8_t s);
+  void punpckhwd(uint8_t d, uint8_t s);
+  void punpckhdq(uint8_t d, uint8_t s);
+
+  void emms();
+
+  // --- scalar -----------------------------------------------------------------
+  void li(uint8_t d, int32_t imm);
+  void smov(uint8_t d, uint8_t s);
+  void sadd(uint8_t d, uint8_t s);
+  void saddi(uint8_t d, int32_t imm);
+  void ssub(uint8_t d, uint8_t s);
+  void ssubi(uint8_t d, int32_t imm);
+  void smul(uint8_t d, uint8_t s);
+  void sshli(uint8_t d, uint8_t sh);
+  void sshri(uint8_t d, uint8_t sh);
+  void ssrai(uint8_t d, uint8_t sh);
+  void sand(uint8_t d, uint8_t s);
+  void sor(uint8_t d, uint8_t s);
+  void sxor(uint8_t d, uint8_t s);
+
+  void ld16(uint8_t d, uint8_t base, int32_t disp);
+  void ld32(uint8_t d, uint8_t base, int32_t disp);
+  void ld64(uint8_t d, uint8_t base, int32_t disp);
+  void st16(uint8_t base, int32_t disp, uint8_t s);
+  void st32(uint8_t base, int32_t disp, uint8_t s);
+  void st64(uint8_t base, int32_t disp, uint8_t s);
+
+  // --- control ------------------------------------------------------------------
+  void jmp(const std::string& label);
+  void jnz(uint8_t reg, const std::string& label);
+  void jz(uint8_t reg, const std::string& label);
+  void loopnz(uint8_t reg, const std::string& label);
+  void nop();
+  void halt();
+
+  // Append a raw instruction (used by program transforms).
+  void emit(const Inst& in);
+
+  [[nodiscard]] size_t size() const { return insts_.size(); }
+
+  // Finalize: patch label references; throws std::logic_error on undefined
+  // labels. Leaves the assembler empty.
+  [[nodiscard]] Program take();
+
+ private:
+  void mmx_rr(Op op, uint8_t d, uint8_t s);
+  void mmx_shift_imm(Op op, uint8_t d, uint8_t count);
+  void mmx_shift_reg(Op op, uint8_t d, uint8_t count_mm);
+  void scalar_rr(Op op, uint8_t d, uint8_t s);
+  void scalar_imm(Op op, uint8_t d, int32_t imm);
+  void branch(Op op, uint8_t reg, const std::string& label);
+
+  std::vector<Inst> insts_;
+  std::unordered_map<std::string, int32_t> labels_;
+  // Unresolved branch fixups: instruction index -> label name.
+  std::vector<std::pair<size_t, std::string>> fixups_;
+};
+
+}  // namespace subword::isa

@@ -1,0 +1,104 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+namespace subword::isa {
+namespace {
+
+std::string mm(uint8_t r) { return "mm" + std::to_string(r); }
+std::string gp(uint8_t r) { return "r" + std::to_string(r); }
+
+std::string mem(uint8_t base, int32_t disp) {
+  std::ostringstream os;
+  os << "[" << gp(base);
+  if (disp > 0) os << "+" << disp;
+  if (disp < 0) os << disp;
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+std::string disassemble(const Inst& in) {
+  const auto& info = op_info(in.op);
+  std::ostringstream os;
+  os << info.name << " ";
+  switch (in.op) {
+    case Op::MovqRR:
+      os << mm(in.dst) << ", " << mm(in.src);
+      break;
+    case Op::MovqLoad:
+    case Op::MovdLoad:
+      os << mm(in.dst) << ", " << mem(in.base, in.disp);
+      break;
+    case Op::MovqStore:
+    case Op::MovdStore:
+      os << mem(in.base, in.disp) << ", " << mm(in.src);
+      break;
+    case Op::MovdToMmx:
+      os << mm(in.dst) << ", " << gp(in.src);
+      break;
+    case Op::MovdFromMmx:
+      os << gp(in.dst) << ", " << mm(in.src);
+      break;
+    case Op::Psllw: case Op::Pslld: case Op::Psllq:
+    case Op::Psrlw: case Op::Psrld: case Op::Psrlq:
+    case Op::Psraw: case Op::Psrad:
+      os << mm(in.dst) << ", ";
+      if (in.src_is_imm) {
+        os << static_cast<int>(in.imm8);
+      } else {
+        os << mm(in.src);
+      }
+      break;
+    case Op::Emms:
+    case Op::Nop:
+    case Op::Halt:
+      break;
+    case Op::Li:
+    case Op::SAddi:
+    case Op::SSubi:
+      os << gp(in.dst) << ", " << in.disp;
+      break;
+    case Op::SShli:
+    case Op::SShri:
+    case Op::SSrai:
+      os << gp(in.dst) << ", " << static_cast<int>(in.imm8);
+      break;
+    case Op::SMov: case Op::SAdd: case Op::SSub: case Op::SMul:
+    case Op::SAnd: case Op::SOr: case Op::SXor:
+      os << gp(in.dst) << ", " << gp(in.src);
+      break;
+    case Op::SLoad16: case Op::SLoad32: case Op::SLoad64:
+      os << gp(in.dst) << ", " << mem(in.base, in.disp);
+      break;
+    case Op::SStore16: case Op::SStore32: case Op::SStore64:
+      os << mem(in.base, in.disp) << ", " << gp(in.src);
+      break;
+    case Op::Jmp:
+      os << "@" << in.target;
+      break;
+    case Op::Jnz: case Op::Jz: case Op::Loopnz:
+      os << gp(in.src) << ", @" << in.target;
+      break;
+    default:
+      // Two-operand MMX (arithmetic / logic / compare / pack / unpack).
+      os << mm(in.dst) << ", " << mm(in.src);
+      break;
+  }
+  auto s = os.str();
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  return s;
+}
+
+std::string disassemble(const Program& p) {
+  std::ostringstream os;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const auto lbl = p.label_at(static_cast<int32_t>(i));
+    if (!lbl.empty()) os << lbl << ":\n";
+    os << "  " << i << ":\t" << disassemble(p.at(i)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace subword::isa

@@ -1,0 +1,17 @@
+// disasm.h — textual rendering of instructions and programs for traces,
+// examples and debugging.
+#pragma once
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace subword::isa {
+
+// "paddw mm0, mm1", "movq mm2, [r3+16]", "loopnz r1, @5" ...
+[[nodiscard]] std::string disassemble(const Inst& in);
+
+// Full listing with instruction indices and label annotations.
+[[nodiscard]] std::string disassemble(const Program& p);
+
+}  // namespace subword::isa

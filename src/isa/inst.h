@@ -1,0 +1,98 @@
+// inst.h — the decoded instruction format and register naming.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcodes.h"
+
+namespace subword::isa {
+
+// MMX register indices MM0..MM7.
+inline constexpr uint8_t MM0 = 0, MM1 = 1, MM2 = 2, MM3 = 3, MM4 = 4,
+                         MM5 = 5, MM6 = 6, MM7 = 7;
+inline constexpr int kNumMmxRegs = 8;
+
+// General-purpose scalar register indices R0..R15 (64-bit).
+inline constexpr uint8_t R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5,
+                         R6 = 6, R7 = 7, R8 = 8, R9 = 9, R10 = 10, R11 = 11,
+                         R12 = 12, R13 = 13, R14 = 14, R15 = 15;
+inline constexpr int kNumGpRegs = 16;
+
+// A decoded instruction. Field use depends on the opcode:
+//   dst      destination register (MMX or GP index)
+//   src      source register (MMX or GP index), or shift-count register
+//   base     GP base register for memory operands
+//   disp     memory displacement, or scalar immediate (Li/SAddi/...)
+//   imm8     shift count when src_is_imm
+//   src_is_imm   MMX shift takes the count from imm8 rather than `src`
+//   target   branch destination (instruction index; resolved by Assembler)
+struct Inst {
+  Op op = Op::Nop;
+  uint8_t dst = 0;
+  uint8_t src = 0;
+  uint8_t base = 0;
+  uint8_t imm8 = 0;
+  bool src_is_imm = false;
+  int32_t disp = 0;
+  int32_t target = -1;
+};
+
+// MMX two-operand instructions read `dst` as their first input; this helper
+// tells the simulator/orchestrator which MMX registers an instruction reads.
+struct MmxReadSet {
+  // Register indices read; count in [0,2]. reads_dst marks ops where the
+  // first input is the destination register itself (all packed arithmetic).
+  int count = 0;
+  uint8_t regs[2] = {0, 0};
+};
+
+[[nodiscard]] inline MmxReadSet mmx_reads(const Inst& in) {
+  MmxReadSet rs;
+  const auto& info = op_info(in.op);
+  if (!info.is_mmx) return rs;
+  switch (in.op) {
+    case Op::MovqLoad:
+    case Op::MovdLoad:
+    case Op::MovdToMmx:
+    case Op::Emms:
+      return rs;  // no MMX register inputs
+    case Op::MovqStore:
+    case Op::MovdStore:
+    case Op::MovdFromMmx:
+    case Op::MovqRR:
+      rs.count = 1;
+      rs.regs[0] = in.src;
+      return rs;
+    case Op::Psllw: case Op::Pslld: case Op::Psllq:
+    case Op::Psrlw: case Op::Psrld: case Op::Psrlq:
+    case Op::Psraw: case Op::Psrad:
+      rs.count = in.src_is_imm ? 1 : 2;
+      rs.regs[0] = in.dst;  // shifted value
+      rs.regs[1] = in.src;  // count register (when !src_is_imm)
+      return rs;
+    default:
+      // Packed arithmetic/logic/compare/pack/unpack: dst op= src.
+      rs.count = 2;
+      rs.regs[0] = in.dst;
+      rs.regs[1] = in.src;
+      return rs;
+  }
+}
+
+// Whether the instruction writes an MMX register (and which).
+[[nodiscard]] inline bool mmx_writes(const Inst& in, uint8_t* reg) {
+  const auto& info = op_info(in.op);
+  if (!info.is_mmx) return false;
+  switch (in.op) {
+    case Op::MovqStore:
+    case Op::MovdStore:
+    case Op::MovdFromMmx:
+    case Op::Emms:
+      return false;
+    default:
+      *reg = in.dst;
+      return true;
+  }
+}
+
+}  // namespace subword::isa

@@ -1,0 +1,124 @@
+#include "isa/opcodes.h"
+
+#include <stdexcept>
+
+namespace subword::isa {
+namespace {
+
+// Latencies (cycles): all MMX instructions execute in a single cycle except
+// multiplies, which take three (paper §2). Scalar multiply is modeled at 10
+// cycles (Pentium IMUL class); loads hit L1 in 1 cycle because the paper
+// assumes code and data resident in L1.
+constexpr uint8_t kMmx1 = 1;
+constexpr uint8_t kMmxMul = 3;
+constexpr uint8_t kScalarMul = 10;
+
+constexpr std::array<OpInfo, kOpCount> kTable = {{
+    // op, name, class, latency, is_mmx, is_permutation
+    {Op::MovqRR, "movq", ExecClass::MmxAlu, kMmx1, true, true},
+    {Op::MovqLoad, "movq", ExecClass::MmxLoad, kMmx1, true, false},
+    {Op::MovqStore, "movq", ExecClass::MmxStore, kMmx1, true, false},
+    {Op::MovdLoad, "movd", ExecClass::MmxLoad, kMmx1, true, false},
+    {Op::MovdStore, "movd", ExecClass::MmxStore, kMmx1, true, false},
+    {Op::MovdToMmx, "movd", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::MovdFromMmx, "movd", ExecClass::MmxAlu, kMmx1, true, false},
+
+    {Op::Paddb, "paddb", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Paddw, "paddw", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Paddd, "paddd", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Psubb, "psubb", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Psubw, "psubw", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Psubd, "psubd", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Paddsb, "paddsb", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Paddsw, "paddsw", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Paddusb, "paddusb", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Paddusw, "paddusw", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Psubsb, "psubsb", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Psubsw, "psubsw", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Psubusb, "psubusb", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Psubusw, "psubusw", ExecClass::MmxAlu, kMmx1, true, false},
+
+    {Op::Pmullw, "pmullw", ExecClass::MmxMul, kMmxMul, true, false},
+    {Op::Pmulhw, "pmulhw", ExecClass::MmxMul, kMmxMul, true, false},
+    {Op::Pmaddwd, "pmaddwd", ExecClass::MmxMul, kMmxMul, true, false},
+
+    {Op::Pcmpeqb, "pcmpeqb", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Pcmpeqw, "pcmpeqw", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Pcmpeqd, "pcmpeqd", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Pcmpgtb, "pcmpgtb", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Pcmpgtw, "pcmpgtw", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Pcmpgtd, "pcmpgtd", ExecClass::MmxAlu, kMmx1, true, false},
+
+    {Op::Pand, "pand", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Pandn, "pandn", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Por, "por", ExecClass::MmxAlu, kMmx1, true, false},
+    {Op::Pxor, "pxor", ExecClass::MmxAlu, kMmx1, true, false},
+
+    {Op::Psllw, "psllw", ExecClass::MmxShift, kMmx1, true, false},
+    {Op::Pslld, "pslld", ExecClass::MmxShift, kMmx1, true, false},
+    {Op::Psllq, "psllq", ExecClass::MmxShift, kMmx1, true, false},
+    {Op::Psrlw, "psrlw", ExecClass::MmxShift, kMmx1, true, false},
+    {Op::Psrld, "psrld", ExecClass::MmxShift, kMmx1, true, false},
+    {Op::Psrlq, "psrlq", ExecClass::MmxShift, kMmx1, true, false},
+    {Op::Psraw, "psraw", ExecClass::MmxShift, kMmx1, true, false},
+    {Op::Psrad, "psrad", ExecClass::MmxShift, kMmx1, true, false},
+
+    {Op::Packsswb, "packsswb", ExecClass::MmxShift, kMmx1, true, true},
+    {Op::Packssdw, "packssdw", ExecClass::MmxShift, kMmx1, true, true},
+    {Op::Packuswb, "packuswb", ExecClass::MmxShift, kMmx1, true, true},
+    {Op::Punpcklbw, "punpcklbw", ExecClass::MmxShift, kMmx1, true, true},
+    {Op::Punpcklwd, "punpcklwd", ExecClass::MmxShift, kMmx1, true, true},
+    {Op::Punpckldq, "punpckldq", ExecClass::MmxShift, kMmx1, true, true},
+    {Op::Punpckhbw, "punpckhbw", ExecClass::MmxShift, kMmx1, true, true},
+    {Op::Punpckhwd, "punpckhwd", ExecClass::MmxShift, kMmx1, true, true},
+    {Op::Punpckhdq, "punpckhdq", ExecClass::MmxShift, kMmx1, true, true},
+
+    {Op::Emms, "emms", ExecClass::Control, kMmx1, true, false},
+
+    {Op::Li, "li", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SMov, "mov", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SAdd, "add", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SAddi, "addi", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SSub, "sub", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SSubi, "subi", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SMul, "mul", ExecClass::ScalarMul, kScalarMul, false, false},
+    {Op::SShli, "shli", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SShri, "shri", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SSrai, "srai", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SAnd, "and", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SOr, "or", ExecClass::ScalarAlu, 1, false, false},
+    {Op::SXor, "xor", ExecClass::ScalarAlu, 1, false, false},
+
+    {Op::SLoad16, "ld16", ExecClass::ScalarLoad, 1, false, false},
+    {Op::SLoad32, "ld32", ExecClass::ScalarLoad, 1, false, false},
+    {Op::SLoad64, "ld64", ExecClass::ScalarLoad, 1, false, false},
+    {Op::SStore16, "st16", ExecClass::ScalarStore, 1, false, false},
+    {Op::SStore32, "st32", ExecClass::ScalarStore, 1, false, false},
+    {Op::SStore64, "st64", ExecClass::ScalarStore, 1, false, false},
+
+    {Op::Jmp, "jmp", ExecClass::Branch, 1, false, false},
+    {Op::Jnz, "jnz", ExecClass::Branch, 1, false, false},
+    {Op::Jz, "jz", ExecClass::Branch, 1, false, false},
+    {Op::Loopnz, "loopnz", ExecClass::Branch, 1, false, false},
+    {Op::Nop, "nop", ExecClass::Control, 1, false, false},
+    {Op::Halt, "halt", ExecClass::Control, 1, false, false},
+}};
+
+constexpr bool table_is_consistent() {
+  for (int i = 0; i < kOpCount; ++i) {
+    if (kTable[static_cast<size_t>(i)].op != static_cast<Op>(i)) return false;
+  }
+  return true;
+}
+static_assert(table_is_consistent(),
+              "kTable entries must appear in Op declaration order");
+
+}  // namespace
+
+const OpInfo& op_info(Op op) {
+  const auto idx = static_cast<size_t>(op);
+  if (idx >= kTable.size()) throw std::out_of_range("op_info: bad opcode");
+  return kTable[idx];
+}
+
+}  // namespace subword::isa

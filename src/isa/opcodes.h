@@ -1,0 +1,130 @@
+// opcodes.h — instruction set of the simulated machine.
+//
+// The MMX side is the Pentium MMX data-processing subset described in the
+// paper's §2 (Peleg & Weiser encoding names). The scalar side is a small
+// RISC-like integer pipe: the paper's kernels only need loop control,
+// address arithmetic and scalar multiply-accumulate, so we model those
+// directly rather than full x86 decode (documented substitution; the cycle
+// accounting follows Pentium U/V pairing rules either way).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace subword::isa {
+
+enum class Op : uint8_t {
+  // --- MMX data movement ---
+  MovqRR,    // movq mm, mm          (register copy; classified permutation)
+  MovqLoad,  // movq mm, [base+disp]
+  MovqStore, // movq [base+disp], mm
+  MovdLoad,  // movd mm, [base+disp]   (low 32 bits, upper zeroed)
+  MovdStore, // movd [base+disp], mm   (low 32 bits)
+  MovdToMmx, // movd mm, gp            (low 32 bits, upper zeroed)
+  MovdFromMmx, // movd gp, mm          (low 32 bits, zero-extended)
+
+  // --- MMX wrapping add/sub ---
+  Paddb, Paddw, Paddd,
+  Psubb, Psubw, Psubd,
+  // --- MMX saturating add/sub ---
+  Paddsb, Paddsw, Paddusb, Paddusw,
+  Psubsb, Psubsw, Psubusb, Psubusw,
+
+  // --- MMX multiply ---
+  Pmullw, Pmulhw, Pmaddwd,
+
+  // --- MMX compare ---
+  Pcmpeqb, Pcmpeqw, Pcmpeqd,
+  Pcmpgtb, Pcmpgtw, Pcmpgtd,
+
+  // --- MMX logical ---
+  Pand, Pandn, Por, Pxor,
+
+  // --- MMX shift (by immediate or by register count) ---
+  Psllw, Pslld, Psllq,
+  Psrlw, Psrld, Psrlq,
+  Psraw, Psrad,
+
+  // --- MMX pack / unpack ---
+  Packsswb, Packssdw, Packuswb,
+  Punpcklbw, Punpcklwd, Punpckldq,
+  Punpckhbw, Punpckhwd, Punpckhdq,
+
+  Emms,
+
+  // --- scalar integer pipe ---
+  Li,     // gp <- sign-extended imm32
+  SMov,   // gp <- gp
+  SAdd,   // gp += gp
+  SAddi,  // gp += imm32
+  SSub,   // gp -= gp
+  SSubi,  // gp -= imm32
+  SMul,   // gp *= gp  (long latency)
+  SShli,  // gp <<= imm8
+  SShri,  // gp >>= imm8 (logical)
+  SSrai,  // gp >>= imm8 (arithmetic)
+  SAnd, SOr, SXor,
+
+  // --- scalar memory ---
+  SLoad16,  // gp <- sign-extended 16-bit [base+disp]
+  SLoad32,  // gp <- sign-extended 32-bit [base+disp]
+  SLoad64,  // gp <- 64-bit [base+disp]
+  SStore16, SStore32, SStore64,
+
+  // --- control ---
+  Jmp,     // unconditional
+  Jnz,     // jump if gp != 0
+  Jz,      // jump if gp == 0
+  Loopnz,  // gp -= 1; jump if gp != 0   (x86 LOOP-style fused loop branch)
+  Nop,
+  Halt,
+};
+
+inline constexpr int kOpCount = static_cast<int>(Op::Halt) + 1;
+
+// Which execution resource an instruction occupies. The Pentium MMX has a
+// single multiplier and a single shift/pack unit shared between the U and V
+// pipes; memory accesses go through the U pipe only (paper §2).
+enum class ExecClass : uint8_t {
+  MmxAlu,      // packed add/sub/logic/compare — both pipes have one
+  MmxMul,      // packed multiply — single shared multiplier
+  MmxShift,    // shift/pack/unpack — single shared shifter
+  MmxLoad,
+  MmxStore,
+  ScalarAlu,
+  ScalarMul,
+  ScalarLoad,
+  ScalarStore,
+  Branch,
+  Control,     // nop/halt/emms
+};
+
+struct OpInfo {
+  Op op;                  // for table self-validation
+  std::string_view name;  // assembly mnemonic
+  ExecClass cls;
+  uint8_t latency;        // result-ready latency in cycles
+  bool is_mmx;            // executes in the MMX pipes
+  bool is_permutation;    // pack/unpack/reg-to-reg move: data alignment work
+};
+
+// Information lookup; total over all Op values.
+[[nodiscard]] const OpInfo& op_info(Op op);
+
+[[nodiscard]] inline std::string_view op_name(Op op) { return op_info(op).name; }
+
+[[nodiscard]] inline bool is_mmx_op(Op op) { return op_info(op).is_mmx; }
+[[nodiscard]] inline bool is_permutation_op(Op op) {
+  return op_info(op).is_permutation;
+}
+[[nodiscard]] inline bool is_branch_op(Op op) {
+  return op_info(op).cls == ExecClass::Branch;
+}
+[[nodiscard]] inline bool is_memory_op(Op op) {
+  const auto c = op_info(op).cls;
+  return c == ExecClass::MmxLoad || c == ExecClass::MmxStore ||
+         c == ExecClass::ScalarLoad || c == ExecClass::ScalarStore;
+}
+
+}  // namespace subword::isa

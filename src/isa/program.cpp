@@ -1,0 +1,24 @@
+#include "isa/program.h"
+
+namespace subword::isa {
+
+std::string Program::label_at(int32_t index) const {
+  for (const auto& [name, idx] : labels_) {
+    if (idx == index) return name;
+  }
+  return {};
+}
+
+Program::StaticCounts Program::static_counts() const {
+  StaticCounts c;
+  for (const auto& in : insts_) {
+    const auto& info = op_info(in.op);
+    ++c.total;
+    if (info.is_mmx) ++c.mmx;
+    if (info.is_permutation) ++c.permutation;
+    if (info.cls == ExecClass::Branch) ++c.branches;
+  }
+  return c;
+}
+
+}  // namespace subword::isa

@@ -1,0 +1,48 @@
+// program.h — an assembled program: instruction vector plus label metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/inst.h"
+
+namespace subword::isa {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::vector<Inst> insts,
+          std::unordered_map<std::string, int32_t> labels)
+      : insts_(std::move(insts)), labels_(std::move(labels)) {}
+
+  [[nodiscard]] const std::vector<Inst>& insts() const { return insts_; }
+  [[nodiscard]] std::vector<Inst>& insts() { return insts_; }
+  [[nodiscard]] size_t size() const { return insts_.size(); }
+  [[nodiscard]] bool empty() const { return insts_.empty(); }
+  [[nodiscard]] const Inst& at(size_t i) const { return insts_.at(i); }
+
+  [[nodiscard]] const std::unordered_map<std::string, int32_t>& labels()
+      const {
+    return labels_;
+  }
+
+  // Label at instruction index i, empty string if none (for disassembly).
+  [[nodiscard]] std::string label_at(int32_t index) const;
+
+  // Static instruction counts by category (used by reports and tests).
+  struct StaticCounts {
+    int total = 0;
+    int mmx = 0;
+    int permutation = 0;
+    int branches = 0;
+  };
+  [[nodiscard]] StaticCounts static_counts() const;
+
+ private:
+  std::vector<Inst> insts_;
+  std::unordered_map<std::string, int32_t> labels_;
+};
+
+}  // namespace subword::isa

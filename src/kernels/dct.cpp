@@ -1,0 +1,243 @@
+#include "kernels/dct.h"
+
+#include "isa/assembler.h"
+#include "kernels/spu_util.h"
+#include "ref/ref_dct.h"
+#include "ref/workload.h"
+
+namespace subword::kernels {
+
+using namespace isa;
+
+namespace {
+
+constexpr uint64_t kSeedIn = 0x44435449;
+constexpr uint64_t kTemp1 = kAuxAddr;           // row-pass 1 result
+constexpr uint64_t kTemp1T = kAuxAddr + 0x800;  // transposed
+constexpr uint64_t kTemp2 = kAuxAddr + 0x1000;  // row-pass 2 result
+constexpr int kRowBytes = 16;                   // 8 x int16
+
+// Register plan:
+//   R0 repeat  R8 block counter  R10 input block ptr  R11 output block ptr
+//   R1 inner counter  R9 transpose outer counter
+//   R2 src ptr  R3 dst ptr  R4 basis base (constant within a pass)
+//   MMX: MM0..MM3 pair accumulators (config-D window), MM4/MM5 temps and
+//   combine registers, MM6/MM7 the current row.
+
+// One 1-D pass over 8 rows, src in R2, dst in R3; `label` must be unique.
+void emit_row_pass(Assembler& a, bool spu, const std::string& label) {
+  a.li(R1, 8);
+  if (spu) core::emit_spu_go(a, 0);
+  a.label(label);
+  a.movq_load(MM6, R2, 0);
+  a.movq_load(MM7, R2, 8);
+  for (int g = 0; g < 2; ++g) {
+    for (int u = 0; u < 4; ++u) {
+      const auto acc = static_cast<uint8_t>(MM0 + u);
+      const int32_t cbase = (4 * g + u) * 16;
+      a.movq_load(acc, R4, cbase);
+      a.pmaddwd(acc, MM6);
+      a.movq_load(MM4, R4, cbase + 8);
+      a.pmaddwd(MM4, MM7);
+      a.paddd(acc, MM4);
+    }
+    if (spu) {
+      a.paddd(MM4, MM5);  // routed -> [r0, r1]
+      a.paddd(MM5, MM4);  // routed -> [r2, r3]
+    } else {
+      a.movq(MM4, MM0);
+      a.punpckldq(MM4, MM1);  // [acc0.d0, acc1.d0]
+      a.punpckhdq(MM0, MM1);  // [acc0.d1, acc1.d1]
+      a.paddd(MM4, MM0);      // [r0, r1]
+      a.movq(MM5, MM2);
+      a.punpckldq(MM5, MM3);
+      a.punpckhdq(MM2, MM3);
+      a.paddd(MM5, MM2);      // [r2, r3]
+    }
+    a.psrad(MM4, DctKernel::kShift);
+    a.psrad(MM5, DctKernel::kShift);
+    a.packssdw(MM4, MM5);
+    a.movq_store(R3, g * 8, MM4);
+  }
+  a.saddi(R2, kRowBytes);
+  a.saddi(R3, kRowBytes);
+  a.loopnz(R1, label);
+}
+
+// 8x8 transpose src (R2) -> dst (R3) in four 4x4 blocks.
+void emit_transpose8(Assembler& a, bool spu, const std::string& label) {
+  a.li(R9, 2);
+  a.label(label + "_bi");
+  a.li(R1, 2);
+  if (spu) core::emit_spu_go(a, 1);
+  a.label(label + "_bj");
+  a.movq_load(MM0, R2, 0 * kRowBytes);
+  a.movq_load(MM1, R2, 1 * kRowBytes);
+  a.movq_load(MM2, R2, 2 * kRowBytes);
+  a.movq_load(MM3, R2, 3 * kRowBytes);
+  if (spu) {
+    a.movq(MM4, MM0);
+    a.movq(MM5, MM0);
+    a.movq(MM6, MM0);
+    a.movq(MM7, MM0);
+    a.movq_store(R3, 0 * kRowBytes, MM4);
+    a.movq_store(R3, 1 * kRowBytes, MM5);
+    a.movq_store(R3, 2 * kRowBytes, MM6);
+    a.movq_store(R3, 3 * kRowBytes, MM7);
+  } else {
+    // Pairing-aware schedule (see kernels/transpose.cpp).
+    a.movq(MM4, MM0);
+    a.punpcklwd(MM0, MM1);
+    a.movq(MM5, MM2);
+    a.punpckhwd(MM4, MM1);
+    a.movq(MM6, MM0);
+    a.punpcklwd(MM2, MM3);
+    a.movq(MM7, MM4);
+    a.punpckhwd(MM5, MM3);
+    a.punpckldq(MM0, MM2);
+    a.movq_store(R3, 0 * kRowBytes, MM0);
+    a.punpckhdq(MM6, MM2);
+    a.movq_store(R3, 1 * kRowBytes, MM6);
+    a.punpckldq(MM4, MM5);
+    a.movq_store(R3, 2 * kRowBytes, MM4);
+    a.punpckhdq(MM7, MM5);
+    a.movq_store(R3, 3 * kRowBytes, MM7);
+  }
+  a.saddi(R2, 8);
+  a.saddi(R3, 4 * kRowBytes);
+  a.loopnz(R1, label + "_bj");
+  a.saddi(R2, 4 * kRowBytes - 16);
+  a.saddi(R3, 8 - 8 * kRowBytes);
+  a.loopnz(R9, label + "_bi");
+}
+
+}  // namespace
+
+isa::Program DctKernel::build_mmx(int repeats) const {
+  Assembler a;
+  a.li(R0, repeats);
+  a.label("repeat");
+  a.li(R4, static_cast<int32_t>(kCoeffAddr));
+  a.li(R10, static_cast<int32_t>(kInputAddr));
+  a.li(R11, static_cast<int32_t>(kOutputAddr));
+  a.li(R8, kBlocks);
+  a.label("block");
+  // Pass 1: input rows -> temp1.
+  a.smov(R2, R10);
+  a.li(R3, static_cast<int32_t>(kTemp1));
+  emit_row_pass(a, false, "rp1");
+  // Transpose temp1 -> temp1T.
+  a.li(R2, static_cast<int32_t>(kTemp1));
+  a.li(R3, static_cast<int32_t>(kTemp1T));
+  emit_transpose8(a, false, "t1");
+  // Pass 2: temp1T rows -> temp2.
+  a.li(R2, static_cast<int32_t>(kTemp1T));
+  a.li(R3, static_cast<int32_t>(kTemp2));
+  emit_row_pass(a, false, "rp2");
+  // Transpose temp2 -> output block.
+  a.li(R2, static_cast<int32_t>(kTemp2));
+  a.smov(R3, R11);
+  emit_transpose8(a, false, "t2");
+  a.saddi(R10, kBlockBytes);
+  a.saddi(R11, kBlockBytes);
+  a.loopnz(R8, "block");
+  a.loopnz(R0, "repeat");
+  a.halt();
+  return a.take();
+}
+
+std::optional<isa::Program> DctKernel::build_spu(
+    const core::CrossbarConfig& cfg, int repeats) const {
+  // Context 0: row pass (57 states). The body below must mirror
+  // emit_row_pass(spu=true) instruction-for-instruction.
+  core::MicroBuilder mb0(cfg);
+  mb0.add_straight_state();  // movq_load MM6
+  mb0.add_straight_state();  // movq_load MM7
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 4 * 5; ++i) mb0.add_straight_state();
+    {
+      core::Route r;
+      r.set_operand_both_pipes(0, gather_dwords({{{MM0, 0}, {MM1, 0}}}));
+      r.set_operand_both_pipes(1, gather_dwords({{{MM0, 1}, {MM1, 1}}}));
+      mb0.add_state(r);
+    }
+    {
+      core::Route r;
+      r.set_operand_both_pipes(0, gather_dwords({{{MM2, 0}, {MM3, 0}}}));
+      r.set_operand_both_pipes(1, gather_dwords({{{MM2, 1}, {MM3, 1}}}));
+      mb0.add_state(r);
+    }
+    for (int i = 0; i < 4; ++i) mb0.add_straight_state();  // shifts/pack/store
+  }
+  for (int i = 0; i < 3; ++i) mb0.add_straight_state();  // addi/addi/loopnz
+  mb0.seal_simple_loop(8);
+
+  // Context 1: transpose column gathers (15 states).
+  core::MicroBuilder mb1(cfg);
+  for (int i = 0; i < 4; ++i) mb1.add_straight_state();
+  for (int col = 0; col < 4; ++col) {
+    core::Route r;
+    r.set_operand_both_pipes(
+        1, gather_words({{{0, col}, {1, col}, {2, col}, {3, col}}}));
+    mb1.add_state(r);
+  }
+  for (int i = 0; i < 7; ++i) mb1.add_straight_state();
+  mb1.seal_simple_loop(2);
+
+  Assembler a;
+  emit_spu_prologue(a, {{0, &mb0}, {1, &mb1}});
+  a.li(R0, repeats);
+  a.label("repeat");
+  a.li(R4, static_cast<int32_t>(kCoeffAddr));
+  a.li(R10, static_cast<int32_t>(kInputAddr));
+  a.li(R11, static_cast<int32_t>(kOutputAddr));
+  a.li(R8, kBlocks);
+  a.label("block");
+  a.smov(R2, R10);
+  a.li(R3, static_cast<int32_t>(kTemp1));
+  emit_row_pass(a, true, "rp1");
+  a.li(R2, static_cast<int32_t>(kTemp1));
+  a.li(R3, static_cast<int32_t>(kTemp1T));
+  emit_transpose8(a, true, "t1");
+  a.li(R2, static_cast<int32_t>(kTemp1T));
+  a.li(R3, static_cast<int32_t>(kTemp2));
+  emit_row_pass(a, true, "rp2");
+  a.li(R2, static_cast<int32_t>(kTemp2));
+  a.smov(R3, R11);
+  emit_transpose8(a, true, "t2");
+  a.saddi(R10, kBlockBytes);
+  a.saddi(R11, kBlockBytes);
+  a.loopnz(R8, "block");
+  a.loopnz(R0, "repeat");
+  a.halt();
+  return a.take();
+}
+
+void DctKernel::init_memory(sim::Memory& mem) const {
+  const auto in =
+      ref::make_matrix(8 * kBlocks, 8, kSeedIn, /*amplitude=*/2047);
+  mem.write_span<int16_t>(kInputAddr, in);
+  mem.write_span<int16_t>(kCoeffAddr, ref::make_dct_basis());
+}
+
+bool DctKernel::verify(const sim::Memory& mem) const {
+  const auto in =
+      ref::make_matrix(8 * kBlocks, 8, kSeedIn, /*amplitude=*/2047);
+  const auto basis = ref::make_dct_basis();
+  for (int blk = 0; blk < kBlocks; ++blk) {
+    ref::Block8x8 b{};
+    for (int i = 0; i < 64; ++i) {
+      b[static_cast<size_t>(i)] = in[static_cast<size_t>(blk * 64 + i)];
+    }
+    const auto want = ref::dct2d(b, basis);
+    const std::vector<int16_t> wv(want.begin(), want.end());
+    if (compare_i16(mem,
+                    kOutputAddr + static_cast<uint64_t>(blk) * kBlockBytes,
+                    wv, name() + " block " + std::to_string(blk)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace subword::kernels

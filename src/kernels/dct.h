@@ -1,0 +1,37 @@
+// dct.h — 8x8 forward DCT (paper Table 2: "8x8 Kernel"), row-column
+// decomposition over a sequence of blocks.
+//
+// Per block: a 1-D pass over the 8 rows (PMADDWD against the Q13 basis,
+// pair accumulators, horizontal reductions), a transpose, a second 1-D
+// pass, and a final transpose. The transposes are pure inter-word
+// permutation work and the reductions pure intra-word work — this is the
+// paper's flagship example of both restriction classes, which is why DCT
+// shows one of the largest SPU gains in Figure 9.
+//
+// SPU variant: context 0 carries the row-pass routes (reductions and
+// result pairing folded into PADDD/PSRAD operands), context 1 the
+// transpose column gathers.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace subword::kernels {
+
+class DctKernel final : public MediaKernel {
+ public:
+  static constexpr int kBlocks = 16;
+  static constexpr int kShift = 13;  // Q13 basis
+  static constexpr int kBlockBytes = 128;
+
+  [[nodiscard]] std::string name() const override { return "DCT"; }
+  [[nodiscard]] std::string description() const override {
+    return "8x8 Kernel";
+  }
+  [[nodiscard]] isa::Program build_mmx(int repeats) const override;
+  [[nodiscard]] std::optional<isa::Program> build_spu(
+      const core::CrossbarConfig& cfg, int repeats) const override;
+  void init_memory(sim::Memory& mem) const override;
+  [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+};
+
+}  // namespace subword::kernels

@@ -1,0 +1,292 @@
+#include "kernels/fft.h"
+
+#include <stdexcept>
+
+#include "isa/assembler.h"
+#include "kernels/spu_util.h"
+#include "ref/ref_fft.h"
+#include "ref/workload.h"
+
+namespace subword::kernels {
+
+using namespace isa;
+
+namespace {
+
+constexpr uint64_t kSeedIn = 0x46465420;
+constexpr uint64_t kWorkAddr = kOutputAddr;  // transformed in place here
+
+// Byte offset of stage s's twiddle entries in the linear tables
+// (entries for stages 2..s-1 precede it; each entry is two int16).
+constexpr int32_t tw_stage_offset(int s) {
+  return 4 * ((1 << (s - 1)) - 2);
+}
+
+int log2_exact(int n) {
+  int b = 0;
+  while ((1 << b) < n) ++b;
+  if ((1 << b) != n) throw std::invalid_argument("FftKernel: n must be 2^k");
+  return b;
+}
+
+}  // namespace
+
+FftKernel::FftKernel(int n) : n_(n), stages_(log2_exact(n)) {
+  if (n != 128 && n != 1024) {
+    throw std::invalid_argument("FftKernel: supported sizes are 128/1024");
+  }
+}
+
+std::string FftKernel::name() const { return "FFT" + std::to_string(n_); }
+
+std::string FftKernel::description() const {
+  return std::to_string(n_) + " Sample, Radix 2 Real FFT";
+}
+
+int FftKernel::num_bitrev_pairs() const {
+  const auto t = ref::make_fft_tables(static_cast<size_t>(n_));
+  int pairs = 0;
+  for (int i = 0; i < n_; ++i) {
+    if (t.bitrev[static_cast<size_t>(i)] > i) ++pairs;
+  }
+  return pairs;
+}
+
+isa::Program FftKernel::build(bool spu, int repeats,
+                              const core::CrossbarConfig* cfg) const {
+  // --- SPU microprograms -----------------------------------------------------
+  core::MicroBuilder mb0(cfg ? *cfg : core::kConfigA);  // stage 1, 7 states
+  core::MicroBuilder mb1(cfg ? *cfg : core::kConfigA);  // stages >= 2, 21
+  if (spu) {
+    mb0.add_straight_state();  // load
+    {
+      core::Route r;  // paddsw MM2, MM1 : a <- [c0,c0], b <- [c1,c1]
+      r.set_operand_both_pipes(0, gather_dwords({{{MM0, 0}, {MM0, 0}}}));
+      r.set_operand_both_pipes(1, gather_dwords({{{MM0, 1}, {MM0, 1}}}));
+      mb0.add_state(r);
+    }
+    {
+      core::Route r;  // psubsw MM3, MM1 : same gathers
+      r.set_operand_both_pipes(0, gather_dwords({{{MM0, 0}, {MM0, 0}}}));
+      r.set_operand_both_pipes(1, gather_dwords({{{MM0, 1}, {MM0, 1}}}));
+      mb0.add_state(r);
+    }
+    {
+      core::Route r;  // psraw MM2, 1 : a <- [a'.d0 | b'.d0]
+      r.set_operand_both_pipes(0, gather_dwords({{{MM2, 0}, {MM3, 0}}}));
+      mb0.add_state(r);
+    }
+    for (int i = 0; i < 3; ++i) mb0.add_straight_state();  // store/addi/loop
+    mb0.seal_simple_loop(static_cast<uint32_t>(n_ / 2));
+
+    // smov/sadd address compute, loads, multiplies, shifts, packs.
+    for (int i = 0; i < 12; ++i) mb1.add_straight_state();
+    {
+      core::Route r;  // psubsw MM5, MM4 : a <- MM0, b <- t-gather
+      r.set_operand_both_pipes(0, gather_dwords({{{MM0, 0}, {MM0, 1}}}));
+      r.set_operand_both_pipes(
+          1, gather_words({{{MM2, 0}, {MM3, 0}, {MM2, 1}, {MM3, 1}}}));
+      mb1.add_state(r);
+    }
+    {
+      core::Route r;  // paddsw MM0, MM4 : b <- t-gather
+      r.set_operand_both_pipes(
+          1, gather_words({{{MM2, 0}, {MM3, 0}, {MM2, 1}, {MM3, 1}}}));
+      mb1.add_state(r);
+    }
+    for (int i = 0; i < 8; ++i) mb1.add_straight_state();  // shifts..loopnz
+    mb1.seal_simple_loop(1);  // reload rewritten per stage
+  }
+
+  Assembler a;
+  if (spu) {
+    emit_spu_prologue(a, {{0, &mb0}, {1, &mb1}});
+  }
+  a.li(R0, repeats);
+  a.label("repeat");
+
+  // --- copy pristine input to the work area ---------------------------------
+  a.li(R2, static_cast<int32_t>(kInputAddr));
+  a.li(R3, static_cast<int32_t>(kWorkAddr));
+  a.li(R1, n_ / 2);
+  a.label("copy");
+  a.movq_load(MM0, R2, 0);
+  a.movq_store(R3, 0, MM0);
+  a.saddi(R2, 8);
+  a.saddi(R3, 8);
+  a.loopnz(R1, "copy");
+
+  // --- scalar bit-reversal swaps ---------------------------------------------
+  a.li(R4, static_cast<int32_t>(kWorkAddr));
+  a.li(R2, static_cast<int32_t>(kAuxAddr));
+  a.li(R1, num_bitrev_pairs());
+  a.label("brev");
+  a.ld32(R5, R2, 0);
+  a.ld32(R6, R2, 4);
+  a.smov(R7, R4);
+  a.sadd(R7, R5);
+  a.smov(R9, R4);
+  a.sadd(R9, R6);
+  a.ld32(R10, R7, 0);
+  a.ld32(R11, R9, 0);
+  a.st32(R7, 0, R11);
+  a.st32(R9, 0, R10);
+  a.saddi(R2, 8);
+  a.loopnz(R1, "brev");
+
+  // --- stage 1: W = 1, adjacent sub-word butterflies --------------------------
+  a.li(R2, static_cast<int32_t>(kWorkAddr));
+  a.li(R1, n_ / 2);
+  if (spu) core::emit_spu_go(a, 0);
+  a.label("s1");
+  a.movq_load(MM0, R2, 0);
+  if (spu) {
+    a.paddsw(MM2, MM1);  // routed: [c0,c0] + [c1,c1]
+    a.psubsw(MM3, MM1);  // routed: [c0,c0] - [c1,c1]
+    a.psraw(MM2, 1);     // routed: [a'|b'] >> 1
+  } else {
+    a.movq(MM1, MM0);
+    a.punpckhdq(MM1, MM0);  // [c1, c1]
+    a.movq(MM2, MM0);
+    a.punpckldq(MM2, MM0);  // [c0, c0]
+    a.movq(MM3, MM2);
+    a.paddsw(MM2, MM1);
+    a.psubsw(MM3, MM1);
+    a.psraw(MM2, 1);
+    a.psraw(MM3, 1);
+    a.punpckldq(MM2, MM3);  // [a', b']
+  }
+  a.movq_store(R2, 0, MM2);
+  a.saddi(R2, 8);
+  a.loopnz(R1, "s1");
+
+  // --- stages 2..log2(n), unrolled -------------------------------------------
+  for (int s = 2; s <= stages_; ++s) {
+    const int m = 1 << s;
+    const int half = m / 2;
+    const int nblocks = n_ / m;
+    const int inner = half / 2;
+    const std::string tag = "st" + std::to_string(s);
+
+    if (spu) {
+      // Re-program context 1's counter for this stage's trip count.
+      core::emit_spu_stop(a, 1);  // select context 1
+      a.li(core::kSpuScratchReg, 22 * inner);
+      a.st32(core::kSpuBaseReg,
+             static_cast<int32_t>(core::SpuMmio::kCntr0),
+             core::kSpuScratchReg);
+    }
+    a.li(R9, nblocks);
+    a.li(R2, static_cast<int32_t>(kWorkAddr));
+    a.li(R8, half * 4);  // b-half offset, recomputed per butterfly below
+    a.label(tag + "_block");
+    a.li(R5, static_cast<int32_t>(kCoeffAddr + tw_stage_offset(s)));
+    a.li(R6, static_cast<int32_t>(kCoeffAddr + kTwImOffset +
+                                  tw_stage_offset(s)));
+    a.li(R1, inner);
+    if (spu) core::emit_spu_go(a, 1);
+    a.label(tag + "_inner");
+    // Strided address generation on the scalar pipe (IPP's FFTs recompute
+    // the partner address per butterfly group rather than carrying a
+    // second induction pointer — part of why their MMX occupancy is low).
+    a.smov(R3, R2);
+    a.sadd(R3, R8);
+    a.movq_load(MM0, R2, 0);  // two a-complexes
+    a.movq_load(MM1, R3, 0);  // two b-complexes
+    a.movq_load(MM2, R5, 0);  // twiddle (wr, -wi) pairs
+    a.movq_load(MM3, R6, 0);  // twiddle (wi, wr) pairs
+    a.pmaddwd(MM2, MM1);      // [tre0, tre1] (32-bit)
+    a.pmaddwd(MM3, MM1);      // [tim0, tim1]
+    a.psrad(MM2, kShiftTw);
+    a.psrad(MM3, kShiftTw);
+    a.packssdw(MM2, MM2);     // [tre0, tre1, *, *]
+    a.packssdw(MM3, MM3);     // [tim0, tim1, *, *]
+    if (spu) {
+      a.psubsw(MM5, MM4);     // routed: MM0 - t
+      a.paddsw(MM0, MM4);     // routed: MM0 + t
+    } else {
+      a.movq(MM4, MM2);
+      a.punpcklwd(MM4, MM3);  // t = [tre0, tim0, tre1, tim1]
+      a.movq(MM5, MM0);
+      a.psubsw(MM5, MM4);
+      a.paddsw(MM0, MM4);
+    }
+    a.psraw(MM0, 1);
+    a.psraw(MM5, 1);
+    a.movq_store(R2, 0, MM0);
+    a.movq_store(R3, 0, MM5);
+    a.saddi(R2, 8);
+    a.saddi(R5, 8);
+    a.saddi(R6, 8);
+    a.loopnz(R1, tag + "_inner");
+    a.saddi(R2, half * 4);  // skip the b half we just wrote
+    a.loopnz(R9, tag + "_block");
+  }
+
+  // --- spectrum post-processing (scalar) --------------------------------------
+  // Models the real-FFT unpack/scale pass that follows the complex core in
+  // the IPP routine: p[k] = (re[k] + im[k]) >> 1, a pure scalar walk.
+  a.li(R2, static_cast<int32_t>(kWorkAddr));
+  a.li(R3, static_cast<int32_t>(kAux2Addr));
+  a.li(R1, n_);
+  a.label("post");
+  a.ld16(R5, R2, 0);
+  a.ld16(R6, R2, 2);
+  a.sadd(R5, R6);
+  a.ssrai(R5, 1);
+  a.st16(R3, 0, R5);
+  a.saddi(R2, 4);
+  a.saddi(R3, 2);
+  a.loopnz(R1, "post");
+
+  a.loopnz(R0, "repeat");
+  a.halt();
+  return a.take();
+}
+
+isa::Program FftKernel::build_mmx(int repeats) const {
+  return build(false, repeats, nullptr);
+}
+
+std::optional<isa::Program> FftKernel::build_spu(
+    const core::CrossbarConfig& cfg, int repeats) const {
+  return build(true, repeats, &cfg);
+}
+
+void FftKernel::init_memory(sim::Memory& mem) const {
+  const auto data =
+      ref::make_samples(2 * static_cast<size_t>(n_), kSeedIn + n_, 8000);
+  mem.write_span<int16_t>(kInputAddr, data);
+
+  const auto t = ref::make_fft_tables(static_cast<size_t>(n_));
+  mem.write_span<int16_t>(kCoeffAddr, t.tw_re);
+  mem.write_span<int16_t>(kCoeffAddr + kTwImOffset, t.tw_im);
+
+  std::vector<int32_t> pairs;
+  for (int i = 0; i < n_; ++i) {
+    const auto r = t.bitrev[static_cast<size_t>(i)];
+    if (r > i) {
+      pairs.push_back(4 * i);
+      pairs.push_back(4 * r);
+    }
+  }
+  mem.write_span<int32_t>(kAuxAddr, pairs);
+}
+
+bool FftKernel::verify(const sim::Memory& mem) const {
+  auto data =
+      ref::make_samples(2 * static_cast<size_t>(n_), kSeedIn + n_, 8000);
+  const auto t = ref::make_fft_tables(static_cast<size_t>(n_));
+  ref::fft(data, t);
+  if (compare_i16(mem, kWorkAddr, data, name()) != 0) return false;
+  // The scalar post-processing pass.
+  std::vector<int16_t> post(static_cast<size_t>(n_));
+  for (int k = 0; k < n_; ++k) {
+    const int32_t re = data[static_cast<size_t>(2 * k)];
+    const int32_t im = data[static_cast<size_t>(2 * k + 1)];
+    post[static_cast<size_t>(k)] = static_cast<int16_t>((re + im) >> 1);
+  }
+  return compare_i16(mem, kAux2Addr, post, name() + " post") == 0;
+}
+
+}  // namespace subword::kernels

@@ -1,0 +1,52 @@
+// fft.h — radix-2 fixed-point FFT, 128 and 1024 points (paper Table 2:
+// "1024 Sample, Radix 2 Real FFT" / "128 Sample, Radix 2 Real FFT").
+//
+// Substitution note (see DESIGN.md): we transform complex Q15 data with
+// the same radix-2 butterfly structure; the paper's real-valued wrapper
+// changes only the pre/post passes, not the instruction mix the SPU
+// affects. The kernel keeps the IPP shape: a scalar bit-reversal pass, a
+// permutation-heavy first stage (adjacent sub-word butterflies — intra-word
+// restrictions), and clean twiddled stages whose only permutations are the
+// re-interleaving of PMADDWD results.
+//
+// Phases per repeat: copy pristine input to the work area, scalar
+// bit-reversal swaps, stage 1 (W = 1), then stages 2..log2(N) unrolled in
+// the program, each a block/inner loop nest over linear twiddle tables.
+//
+// SPU variant: context 0 carries stage-1 routes (6 of 13 body instructions
+// disappear), context 1 the twiddled-stage routes (3 of 24); the counter
+// reload is re-programmed per stage because the trip count changes — the
+// paper's "startup costs easily scheduled" in action.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace subword::kernels {
+
+class FftKernel final : public MediaKernel {
+ public:
+  explicit FftKernel(int n);
+
+  static constexpr int kShiftTw = 15;  // Q15 twiddles
+  static constexpr uint64_t kTwImOffset = 0x4000;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] isa::Program build_mmx(int repeats) const override;
+  [[nodiscard]] std::optional<isa::Program> build_spu(
+      const core::CrossbarConfig& cfg, int repeats) const override;
+  void init_memory(sim::Memory& mem) const override;
+  [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+
+  [[nodiscard]] int n() const { return n_; }
+
+ private:
+  [[nodiscard]] isa::Program build(bool spu, int repeats,
+                                   const core::CrossbarConfig* cfg) const;
+  [[nodiscard]] int num_bitrev_pairs() const;
+
+  int n_;
+  int stages_;
+};
+
+}  // namespace subword::kernels

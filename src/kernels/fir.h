@@ -1,0 +1,46 @@
+// fir.h — block FIR filter (paper Table 2: "12 TAP, 150 Sample blocks" and
+// "22 TAP, 150 Sample blocks").
+//
+// Baseline: two outputs per iteration; each output accumulates tap pairs
+// with PMADDWD against reversed coefficient quadwords (the IPP trick of
+// keeping coefficient copies resident in registers — FIR12 holds all three
+// coefficient quadwords in MM3..MM5, trading register pressure for
+// permutations, exactly the effect §5.2.2 describes). The remaining
+// permutations are the horizontal sum-of-pairs reductions and the result
+// pairing before PACKSSDW.
+//
+// SPU variant: the reductions become single PADDDs with crossbar-routed
+// operands ([acc.d1] aligned under [acc.d0]) and the result pairing becomes
+// a routed PSRAD — six permutations per iteration disappear.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace subword::kernels {
+
+class FirKernel final : public MediaKernel {
+ public:
+  explicit FirKernel(int taps);
+
+  static constexpr int kSamples = 150;
+  static constexpr int kHistoryBytes = 64;  // zero history before the block
+  static constexpr int kShift = 15;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] isa::Program build_mmx(int repeats) const override;
+  [[nodiscard]] std::optional<isa::Program> build_spu(
+      const core::CrossbarConfig& cfg, int repeats) const override;
+  void init_memory(sim::Memory& mem) const override;
+  [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+
+  [[nodiscard]] int taps() const { return taps_; }
+
+ private:
+  [[nodiscard]] int groups() const { return (taps_ + 3) / 4; }
+  [[nodiscard]] std::vector<int16_t> coeffs() const;
+
+  int taps_;
+};
+
+}  // namespace subword::kernels

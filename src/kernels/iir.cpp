@@ -1,0 +1,156 @@
+#include "kernels/iir.h"
+
+#include "isa/assembler.h"
+#include "kernels/spu_util.h"
+#include "ref/ref_iir.h"
+#include "ref/workload.h"
+
+namespace subword::kernels {
+
+using namespace isa;
+
+namespace {
+
+constexpr uint64_t kSeedX = 0x49495258;
+constexpr uint64_t kSeedB = 0x49495242;
+constexpr uint64_t kSeedA = 0x49495241;
+
+constexpr uint64_t kXBase = kInputAddr + IirKernel::kHistoryBytes;
+constexpr uint64_t kYBase = kOutputAddr + IirKernel::kHistoryBytes;
+
+// Register plan:
+//   R0 repeat  R1 sample counter  R2 x ptr  R3 y ptr
+//   R4 accumulator  R5 multiply temp  R6..R10 feedback coeffs a1..a5
+//   MM4, MM5 feed-forward coefficient quadwords (preloaded)
+
+// Emits the common per-sample body; `spu` selects the routed variant.
+void emit_sample_body(Assembler& a, bool spu) {
+  // Feed-forward: two PMADDWD groups then horizontal reduction.
+  a.movq_load(MM0, R2, -6);
+  a.pmaddwd(MM0, MM4);
+  a.movq_load(MM2, R2, -14);
+  a.pmaddwd(MM2, MM5);
+  a.paddd(MM0, MM2);
+  if (spu) {
+    a.paddd(MM0, MM6);  // routed: b <- [acc.d1, acc.d1]
+  } else {
+    a.movq(MM6, MM0);
+    a.punpckhdq(MM6, MM0);
+    a.paddd(MM0, MM6);
+  }
+  a.movd_from_mmx(R4, MM0);
+  // MOVD zero-extends; sign-extend the 32-bit feed-forward sum.
+  a.sshli(R4, 32);
+  a.ssrai(R4, 32);
+  // Feedback recurrence on the scalar pipe: five dependent long-latency
+  // multiplies (y history read back from just-written output memory).
+  for (int k = 1; k <= IirKernel::kFbTaps; ++k) {
+    a.ld16(R5, R3, -2 * k);
+    a.smul(R5, static_cast<uint8_t>(R6 + (k - 1)));
+    a.ssub(R4, R5);
+  }
+  a.ssrai(R4, IirKernel::kShift);
+  // Saturate through MMX (PACKSSDW is the only 16-bit saturator).
+  a.movd_to_mmx(MM7, R4);
+  a.packssdw(MM7, MM7);
+  a.movd_from_mmx(R4, MM7);
+  a.st16(R3, 0, R4);
+  a.saddi(R2, 2);
+  a.saddi(R3, 2);
+}
+
+}  // namespace
+
+std::vector<int16_t> IirKernel::ff_coeffs() const {
+  return ref::make_coeffs(kFfTaps, kSeedB);
+}
+
+std::vector<int16_t> IirKernel::fb_coeffs() const {
+  // Small feedback coefficients keep the fixed-point filter stable.
+  auto c = ref::make_coeffs(kFbTaps, kSeedA);
+  for (auto& v : c) v = static_cast<int16_t>(v / 8);
+  return c;
+}
+
+isa::Program IirKernel::build_mmx(int repeats) const {
+  Assembler a;
+  a.li(R0, repeats);
+  a.label("repeat");
+  a.li(R4, static_cast<int32_t>(kCoeffAddr));
+  a.movq_load(MM4, R4, 0);
+  a.movq_load(MM5, R4, 8);
+  for (int k = 0; k < kFbTaps; ++k) {
+    a.ld16(static_cast<uint8_t>(R6 + k), R4, 16 + 2 * k);
+  }
+  a.li(R2, static_cast<int32_t>(kXBase));
+  a.li(R3, static_cast<int32_t>(kYBase));
+  a.li(R1, kSamples);
+  a.label("sample");
+  emit_sample_body(a, /*spu=*/false);
+  a.loopnz(R1, "sample");
+  a.loopnz(R0, "repeat");
+  a.halt();
+  return a.take();
+}
+
+std::optional<isa::Program> IirKernel::build_spu(
+    const core::CrossbarConfig& cfg, int repeats) const {
+  core::MicroBuilder mb(cfg);
+  for (int i = 0; i < 5; ++i) mb.add_straight_state();  // ff MACs
+  {
+    core::Route r;  // paddd MM0, MM6 : b <- [acc.d1, acc.d1]
+    r.set_operand_both_pipes(1, gather_dwords({{{MM0, 1}, {MM0, 1}}}));
+    mb.add_state(r);
+  }
+  // movd_from + 2 sign-extend + 5x3 feedback + ssrai + 3 saturate + st16
+  // + 2 saddi + loopnz, all straight.
+  for (int i = 0; i < 3 + 15 + 1 + 3 + 1 + 2 + 1; ++i) {
+    mb.add_straight_state();
+  }
+  mb.seal_simple_loop(kSamples);
+
+  Assembler a;
+  emit_spu_prologue(a, {{0, &mb}});
+  a.li(R0, repeats);
+  a.label("repeat");
+  a.li(R4, static_cast<int32_t>(kCoeffAddr));
+  a.movq_load(MM4, R4, 0);
+  a.movq_load(MM5, R4, 8);
+  for (int k = 0; k < kFbTaps; ++k) {
+    a.ld16(static_cast<uint8_t>(R6 + k), R4, 16 + 2 * k);
+  }
+  a.li(R2, static_cast<int32_t>(kXBase));
+  a.li(R3, static_cast<int32_t>(kYBase));
+  a.li(R1, kSamples);
+  core::emit_spu_go(a, 0);
+  a.label("sample");
+  emit_sample_body(a, /*spu=*/true);
+  a.loopnz(R1, "sample");
+  a.loopnz(R0, "repeat");
+  a.halt();
+  return a.take();
+}
+
+void IirKernel::init_memory(sim::Memory& mem) const {
+  const auto x = ref::make_samples(kSamples, kSeedX, 8000);
+  mem.write_span<int16_t>(kXBase, x);
+  // Reversed padded feed-forward quadwords: group 0 = [b3,b2,b1,b0],
+  // group 1 = [0,0,0,b4]; then the feedback taps a1..a5.
+  const auto b = ff_coeffs();
+  std::vector<int16_t> packed(8, 0);
+  for (int k = 0; k < kFfTaps; ++k) {
+    const int g = k / 4;
+    const int lane = 3 - (k % 4);
+    packed[static_cast<size_t>(g * 4 + lane)] = b[static_cast<size_t>(k)];
+  }
+  mem.write_span<int16_t>(kCoeffAddr, packed);
+  mem.write_span<int16_t>(kCoeffAddr + 16, fb_coeffs());
+}
+
+bool IirKernel::verify(const sim::Memory& mem) const {
+  const auto x = ref::make_samples(kSamples, kSeedX, 8000);
+  const auto want = ref::iir(x, ff_coeffs(), fb_coeffs(), kShift);
+  return compare_i16(mem, kYBase, want, name()) == 0;
+}
+
+}  // namespace subword::kernels

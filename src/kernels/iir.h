@@ -1,0 +1,43 @@
+// iir.h — direct-form-I IIR filter (paper Table 2: "10 TAP, 150 Sample
+// blocks" — five feed-forward plus five feedback taps).
+//
+// The feed-forward half vectorizes like a short FIR (PMADDWD against two
+// padded coefficient quadwords). The feedback half is a serial recurrence:
+// y[n] needs y[n-1], so it runs on the scalar pipe with five long-latency
+// multiplies per sample — which is why the IPP IIR "does not utilize the
+// MMX efficiently" (Figure 9) and why the SPU barely moves this kernel.
+// MMX also provides the final saturation (MOVD -> PACKSSDW -> MOVD).
+//
+// SPU variant: only the feed-forward horizontal reduction is routable
+// (PACKSSDW saturates, so it must stay), mirroring the paper's observation
+// that what little MMX work IIR does is dominated by data marshalling.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace subword::kernels {
+
+class IirKernel final : public MediaKernel {
+ public:
+  static constexpr int kSamples = 150;
+  static constexpr int kFfTaps = 5;
+  static constexpr int kFbTaps = 5;
+  static constexpr int kHistoryBytes = 64;
+  static constexpr int kShift = 14;
+
+  [[nodiscard]] std::string name() const override { return "IIR"; }
+  [[nodiscard]] std::string description() const override {
+    return "10 TAP, 150 Sample blocks";
+  }
+  [[nodiscard]] isa::Program build_mmx(int repeats) const override;
+  [[nodiscard]] std::optional<isa::Program> build_spu(
+      const core::CrossbarConfig& cfg, int repeats) const override;
+  void init_memory(sim::Memory& mem) const override;
+  [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+
+ private:
+  [[nodiscard]] std::vector<int16_t> ff_coeffs() const;
+  [[nodiscard]] std::vector<int16_t> fb_coeffs() const;
+};
+
+}  // namespace subword::kernels

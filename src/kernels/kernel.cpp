@@ -1,0 +1,24 @@
+#include "kernels/kernel.h"
+
+#include <cstdio>
+
+namespace subword::kernels {
+
+int compare_i16(const sim::Memory& mem, uint64_t addr,
+                const std::vector<int16_t>& expected,
+                const std::string& what) {
+  int mismatches = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const auto got = static_cast<int16_t>(mem.read16(addr + 2 * i));
+    if (got != expected[i]) {
+      if (mismatches < 5) {
+        std::fprintf(stderr, "%s: mismatch at %zu: got %d want %d\n",
+                     what.c_str(), i, got, expected[i]);
+      }
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace subword::kernels

@@ -1,0 +1,59 @@
+// kernel.h — the IPP-style media kernel interface.
+//
+// Each kernel provides a hand-optimized MMX program (written the way the
+// Intel IPP routines were written — without SPU knowledge), a hand-written
+// MMX+SPU variant (the paper re-coded each routine to replace permutation
+// instructions with SPU routes, §5.2.1), a deterministic workload, and
+// bit-exact verification against the scalar references in src/ref.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/crossbar.h"
+#include "isa/program.h"
+#include "sim/memory.h"
+
+namespace subword::kernels {
+
+// Shared memory map (1 MiB arena; the SPU window lives far above it and is
+// reached through the device hook, not the arena).
+inline constexpr uint64_t kInputAddr = 0x1000;
+inline constexpr uint64_t kCoeffAddr = 0x20000;
+inline constexpr uint64_t kOutputAddr = 0x40000;
+inline constexpr uint64_t kAuxAddr = 0x60000;
+inline constexpr uint64_t kAux2Addr = 0x80000;
+inline constexpr size_t kMemBytes = 1u << 20;
+
+class MediaKernel {
+ public:
+  virtual ~MediaKernel() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  // The workload description column of the paper's Table 2.
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  // Hand-optimized MMX baseline processing the workload `repeats` times.
+  [[nodiscard]] virtual isa::Program build_mmx(int repeats) const = 0;
+
+  // Hand-written MMX+SPU variant (self-contained: the program itself
+  // programs the SPU through its memory-mapped window). Returns nullopt if
+  // the kernel relies on the automatic orchestrator instead.
+  [[nodiscard]] virtual std::optional<isa::Program> build_spu(
+      const core::CrossbarConfig& cfg, int repeats) const = 0;
+
+  virtual void init_memory(sim::Memory& mem) const = 0;
+
+  // Bit-exact check of the outputs against the scalar reference.
+  [[nodiscard]] virtual bool verify(const sim::Memory& mem) const = 0;
+};
+
+// Compare a region of simulated memory against expected samples; returns
+// number of mismatches (0 = verified) and logs the first few to stderr.
+[[nodiscard]] int compare_i16(const sim::Memory& mem, uint64_t addr,
+                              const std::vector<int16_t>& expected,
+                              const std::string& what);
+
+}  // namespace subword::kernels

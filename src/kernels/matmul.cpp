@@ -1,0 +1,157 @@
+#include "kernels/matmul.h"
+
+#include "isa/assembler.h"
+#include "kernels/spu_util.h"
+#include "ref/ref_mat.h"
+#include "ref/workload.h"
+
+namespace subword::kernels {
+
+using namespace isa;
+
+namespace {
+
+constexpr uint64_t kSeedA = 0x4d4d5841;
+constexpr uint64_t kSeedB = 0x4d4d5842;
+
+// Broadcast-style matmul (the classic MMX idiom): for each row i, walk B
+// row-major, broadcasting a[i][k] across four lanes and accumulating
+// C[i][0..15] in four saturating 16-bit accumulators:
+//
+//   C[i][j] = satsum_k (a[i][k] * b[k][j]) >> 16      (PMULHW + PADDSW)
+//
+// The broadcast is the intra-word restriction in its purest form — each
+// a[i][k] needs PUNPCKLWD/PUNPCKLDQ/PUNPCKHDQ replication before it can
+// meet B's lanes. The SPU crossbar replicates a source half-word directly
+// into all four lanes of the multiplier's second operand, deleting the
+// whole broadcast sequence.
+//
+// Register plan:
+//   R0 repeat  R9 row counter  R1 k-pair counter
+//   R2 A pointer  R3 C pointer  R4 B pointer (reset per row)
+//   MM4..MM7 the four output accumulators
+//   baseline: MM0 movd target, MM1/MM2 broadcasts of a_k / a_k+1,
+//             MM3 and MM0 row temps (interleaved to hide PMULHW latency)
+//   SPU:      MM1 movd target (bytes 8..11 — inside even configuration
+//             D's window), MM3/MM0 row temps
+
+void emit_kpair_body(Assembler& a, bool spu) {
+  if (spu) {
+    a.movd_load(MM1, R2, 0);  // [a_k, a_k+1, 0, 0]
+    for (int q = 0; q < 4; ++q) {
+      a.movq_load(MM3, R4, 8 * q);       // B[k][4q..4q+3]
+      a.pmulhw(MM3, MM2);                // b routed <- replicate a_k
+      a.movq_load(MM0, R4, MatMulKernel::kRowBytes + 8 * q);
+      a.pmulhw(MM0, MM2);                // b routed <- replicate a_k+1
+      a.paddsw(static_cast<uint8_t>(MM4 + q), MM3);
+      a.paddsw(static_cast<uint8_t>(MM4 + q), MM0);
+    }
+  } else {
+    a.movd_load(MM0, R2, 0);  // [a_k, a_k+1, 0, 0]
+    a.movq(MM1, MM0);
+    a.punpcklwd(MM1, MM1);  // [a_k, a_k, a_k+1, a_k+1]
+    a.movq(MM2, MM1);
+    a.punpckldq(MM1, MM1);  // [a_k x4]
+    a.punpckhdq(MM2, MM2);  // [a_k+1 x4]
+    for (int q = 0; q < 4; ++q) {
+      a.movq_load(MM3, R4, 8 * q);
+      a.pmulhw(MM3, MM1);
+      a.movq_load(MM0, R4, MatMulKernel::kRowBytes + 8 * q);
+      a.pmulhw(MM0, MM2);
+      a.paddsw(static_cast<uint8_t>(MM4 + q), MM3);
+      a.paddsw(static_cast<uint8_t>(MM4 + q), MM0);
+    }
+  }
+  a.saddi(R2, 4);   // two A samples consumed
+  a.saddi(R4, 2 * MatMulKernel::kRowBytes);  // two B rows consumed
+}
+
+void emit_row_structure(Assembler& a, bool spu) {
+  a.li(R9, MatMulKernel::kN);
+  a.li(R2, static_cast<int32_t>(kInputAddr));
+  a.li(R3, static_cast<int32_t>(kOutputAddr));
+  a.label("row");
+  a.li(R4, static_cast<int32_t>(kCoeffAddr));
+  a.pxor(MM4, MM4);
+  a.pxor(MM5, MM5);
+  a.pxor(MM6, MM6);
+  a.pxor(MM7, MM7);
+  a.li(R1, MatMulKernel::kN / 2);
+  if (spu) core::emit_spu_go(a, 0);
+  a.label("kpair");
+  emit_kpair_body(a, spu);
+  a.loopnz(R1, "kpair");
+  a.movq_store(R3, 0, MM4);
+  a.movq_store(R3, 8, MM5);
+  a.movq_store(R3, 16, MM6);
+  a.movq_store(R3, 24, MM7);
+  a.saddi(R3, MatMulKernel::kRowBytes);
+  a.loopnz(R9, "row");
+}
+
+}  // namespace
+
+isa::Program MatMulKernel::build_mmx(int repeats) const {
+  Assembler a;
+  a.li(R0, repeats);
+  a.label("repeat");
+  emit_row_structure(a, /*spu=*/false);
+  a.loopnz(R0, "repeat");
+  a.halt();
+  return a.take();
+}
+
+std::optional<isa::Program> MatMulKernel::build_spu(
+    const core::CrossbarConfig& cfg, int repeats) const {
+  // One state per k-pair body instruction (28). The PMULHW states
+  // replicate one half-word of MM1 into all lanes of operand b — a route
+  // only the crossbar can express (Figure 4's "forward the appropriate
+  // sub-words to the ALUs in the correct byte location").
+  core::MicroBuilder mb(cfg);
+  mb.add_straight_state();  // movd_load MM1
+  for (int q = 0; q < 4; ++q) {
+    mb.add_straight_state();  // load row k
+    {
+      core::Route r;
+      r.set_operand_both_pipes(
+          1, gather_words({{{MM1, 0}, {MM1, 0}, {MM1, 0}, {MM1, 0}}}));
+      mb.add_state(r);  // pmulhw x replicate(a_k)
+    }
+    mb.add_straight_state();  // load row k+1
+    {
+      core::Route r;
+      r.set_operand_both_pipes(
+          1, gather_words({{{MM1, 1}, {MM1, 1}, {MM1, 1}, {MM1, 1}}}));
+      mb.add_state(r);  // pmulhw x replicate(a_k+1)
+    }
+    mb.add_straight_state();  // paddsw
+    mb.add_straight_state();  // paddsw
+  }
+  for (int i = 0; i < 3; ++i) mb.add_straight_state();  // addi/addi/loopnz
+  mb.seal_simple_loop(kN / 2);
+
+  Assembler a;
+  emit_spu_prologue(a, {{0, &mb}});
+  a.li(R0, repeats);
+  a.label("repeat");
+  emit_row_structure(a, /*spu=*/true);
+  a.loopnz(R0, "repeat");
+  a.halt();
+  return a.take();
+}
+
+void MatMulKernel::init_memory(sim::Memory& mem) const {
+  mem.write_span<int16_t>(kInputAddr,
+                          ref::make_matrix(kN, kN, kSeedA, 16000));
+  mem.write_span<int16_t>(kCoeffAddr,
+                          ref::make_matrix(kN, kN, kSeedB, 16000));
+}
+
+bool MatMulKernel::verify(const sim::Memory& mem) const {
+  const auto va = ref::make_matrix(kN, kN, kSeedA, 16000);
+  const auto vb = ref::make_matrix(kN, kN, kSeedB, 16000);
+  const auto want = ref::matmul_q15(va, vb, kN);
+  return compare_i16(mem, kOutputAddr, want, name()) == 0;
+}
+
+}  // namespace subword::kernels

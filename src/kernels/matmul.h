@@ -1,0 +1,37 @@
+// matmul.h — 16x16 16-bit matrix multiply (paper Table 2: "16x16 16b
+// Matrix Multiply").
+//
+// Broadcast-style MMX matmul: for each output row, every a[i][k] must be
+// replicated across the four lanes before it can multiply a quadword of
+// B's row k — a PUNPCKLWD/PUNPCKLDQ/PUNPCKHDQ sequence per scalar, the
+// intra-word restriction in its purest form. Products (PMULHW) accumulate
+// into four saturating 16-bit accumulators (PADDSW).
+//
+// The SPU variant deletes the entire broadcast sequence: the crossbar
+// replicates the source half-word directly into all lanes of the
+// multiplier's second operand. The broadcast source register sits inside
+// configuration D's window, so the kernel is fully realizable on the
+// cheapest crossbar.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace subword::kernels {
+
+class MatMulKernel final : public MediaKernel {
+ public:
+  static constexpr int kN = 16;
+  static constexpr int kRowBytes = kN * 2;
+
+  [[nodiscard]] std::string name() const override { return "Matrix Multiply"; }
+  [[nodiscard]] std::string description() const override {
+    return "16x16 16b Matrix Multiply";
+  }
+  [[nodiscard]] isa::Program build_mmx(int repeats) const override;
+  [[nodiscard]] std::optional<isa::Program> build_spu(
+      const core::CrossbarConfig& cfg, int repeats) const override;
+  void init_memory(sim::Memory& mem) const override;
+  [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+};
+
+}  // namespace subword::kernels

@@ -1,0 +1,34 @@
+#include "kernels/registry.h"
+
+#include <stdexcept>
+
+#include "kernels/dct.h"
+#include "kernels/fft.h"
+#include "kernels/fir.h"
+#include "kernels/iir.h"
+#include "kernels/matmul.h"
+#include "kernels/transpose.h"
+
+namespace subword::kernels {
+
+std::vector<std::unique_ptr<MediaKernel>> all_kernels() {
+  std::vector<std::unique_ptr<MediaKernel>> v;
+  v.push_back(std::make_unique<FirKernel>(12));
+  v.push_back(std::make_unique<FirKernel>(22));
+  v.push_back(std::make_unique<IirKernel>());
+  v.push_back(std::make_unique<FftKernel>(1024));
+  v.push_back(std::make_unique<FftKernel>(128));
+  v.push_back(std::make_unique<DctKernel>());
+  v.push_back(std::make_unique<MatMulKernel>());
+  v.push_back(std::make_unique<TransposeKernel>());
+  return v;
+}
+
+std::unique_ptr<MediaKernel> make_kernel(const std::string& name) {
+  for (auto& k : all_kernels()) {
+    if (k->name() == name) return std::move(k);
+  }
+  throw std::out_of_range("unknown kernel: " + name);
+}
+
+}  // namespace subword::kernels

@@ -1,0 +1,20 @@
+// registry.h — the paper's Figure-9 benchmark suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace subword::kernels {
+
+// All eight kernels in the paper's Figure 9 order:
+// FIR12, FIR22, IIR, FFT1024, FFT128, DCT, Matrix Multiply, Matrix
+// Transpose.
+[[nodiscard]] std::vector<std::unique_ptr<MediaKernel>> all_kernels();
+
+// Lookup by name (throws std::out_of_range when unknown).
+[[nodiscard]] std::unique_ptr<MediaKernel> make_kernel(
+    const std::string& name);
+
+}  // namespace subword::kernels

@@ -1,0 +1,55 @@
+#include "kernels/runner.h"
+
+#include <stdexcept>
+
+#include "core/mmio.h"
+
+namespace subword::kernels {
+
+KernelRun run_baseline(const MediaKernel& k, int repeats,
+                       sim::PipelineConfig pc) {
+  KernelRun out;
+  sim::Machine m(k.build_mmx(repeats), kMemBytes, pc);
+  k.init_memory(m.memory());
+  out.stats = m.run();
+  out.verified = k.verify(m.memory());
+  return out;
+}
+
+KernelRun run_spu(const MediaKernel& k, int repeats,
+                  const core::CrossbarConfig& cfg, SpuMode mode,
+                  sim::PipelineConfig pc) {
+  KernelRun out;
+  pc.extra_spu_stage = true;
+
+  isa::Program prog;
+  if (mode == SpuMode::Manual) {
+    auto manual = k.build_spu(cfg, repeats);
+    if (!manual.has_value()) {
+      throw std::logic_error("run_spu: kernel '" + k.name() +
+                             "' has no manual SPU variant");
+    }
+    prog = std::move(*manual);
+  } else {
+    core::OrchestratorOptions opts;
+    opts.config = cfg;
+    core::Orchestrator orch(opts);
+    auto result = orch.run(k.build_mmx(repeats));
+    prog = result.program;
+    out.orchestration = std::move(result);
+  }
+
+  sim::Machine m(std::move(prog), kMemBytes, pc);
+  core::Spu spu(cfg, /*num_contexts=*/8);
+  core::SpuMmio mmio(&spu);
+  m.memory().map_device(core::SpuMmio::kDefaultBase, core::SpuMmio::kWindowSize,
+                        &mmio);
+  m.set_router(&spu);
+  k.init_memory(m.memory());
+  out.stats = m.run();
+  out.verified = k.verify(m.memory());
+  out.spu = spu.run_stats();
+  return out;
+}
+
+}  // namespace subword::kernels

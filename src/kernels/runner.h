@@ -1,0 +1,35 @@
+// runner.h — executes kernels on the simulated machine, baseline and SPU.
+#pragma once
+
+#include "core/orchestrator.h"
+#include "kernels/kernel.h"
+#include "sim/machine.h"
+
+namespace subword::kernels {
+
+struct KernelRun {
+  sim::RunStats stats;
+  bool verified = false;
+  // Controller-side counters (activations, steps, routed operand fetches).
+  core::SpuRunStats spu;
+  // Present for the automatic-orchestrator path.
+  std::optional<core::OrchestrationResult> orchestration;
+};
+
+enum class SpuMode {
+  Manual,  // the kernel's hand-written SPU variant (paper methodology)
+  Auto,    // orchestrator applied to the baseline program
+};
+
+// Baseline MMX run (no SPU pipeline stage).
+[[nodiscard]] KernelRun run_baseline(const MediaKernel& k, int repeats,
+                                     sim::PipelineConfig pc = {});
+
+// MMX+SPU run: extra pipeline stage enabled, SPU attached, MMIO programming
+// charged. Throws if mode==Manual and the kernel has no manual variant.
+[[nodiscard]] KernelRun run_spu(const MediaKernel& k, int repeats,
+                                const core::CrossbarConfig& cfg,
+                                SpuMode mode = SpuMode::Manual,
+                                sim::PipelineConfig pc = {});
+
+}  // namespace subword::kernels

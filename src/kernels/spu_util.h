@@ -1,0 +1,59 @@
+// spu_util.h — helpers for hand-writing MMX+SPU kernel variants.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "core/micro_builder.h"
+#include "core/mmio.h"
+#include "core/setup.h"
+#include "isa/assembler.h"
+
+namespace subword::kernels {
+
+// SPU register byte address of byte `b` of MMX register `r`.
+[[nodiscard]] constexpr uint8_t spu_byte(int r, int b) {
+  return static_cast<uint8_t>(r * 8 + b);
+}
+
+// Operand source array gathering four 16-bit words; each entry names
+// (mmx register, word index 0..3).
+[[nodiscard]] constexpr std::array<uint8_t, 8> gather_words(
+    std::array<std::pair<int, int>, 4> words) {
+  std::array<uint8_t, 8> srcs{};
+  for (int i = 0; i < 4; ++i) {
+    const auto [r, w] = words[static_cast<size_t>(i)];
+    srcs[static_cast<size_t>(2 * i)] = spu_byte(r, 2 * w);
+    srcs[static_cast<size_t>(2 * i + 1)] = spu_byte(r, 2 * w + 1);
+  }
+  return srcs;
+}
+
+// Operand source array gathering two 32-bit dwords ((register, dword 0..1)).
+[[nodiscard]] constexpr std::array<uint8_t, 8> gather_dwords(
+    std::array<std::pair<int, int>, 2> dwords) {
+  std::array<uint8_t, 8> srcs{};
+  for (int i = 0; i < 2; ++i) {
+    const auto [r, d] = dwords[static_cast<size_t>(i)];
+    for (int b = 0; b < 4; ++b) {
+      srcs[static_cast<size_t>(4 * i + b)] =
+          spu_byte(r, 4 * d + b);
+    }
+  }
+  return srcs;
+}
+
+// Emits the one-time SPU programming prologue for one or more contexts:
+// window base into R14, then per context: select + word stream.
+inline void emit_spu_prologue(
+    isa::Assembler& a,
+    const std::vector<std::pair<int, const core::MicroBuilder*>>& contexts) {
+  core::emit_spu_base(a, core::SpuMmio::kDefaultBase);
+  for (const auto& [ctx, mb] : contexts) {
+    core::emit_spu_stop(a, ctx);  // select context, GO clear
+    core::emit_spu_words(a, mb->mmio_words());
+  }
+}
+
+}  // namespace subword::kernels

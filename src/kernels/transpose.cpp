@@ -1,0 +1,136 @@
+#include "kernels/transpose.h"
+
+#include "isa/assembler.h"
+#include "kernels/spu_util.h"
+#include "ref/ref_mat.h"
+#include "ref/workload.h"
+
+namespace subword::kernels {
+
+using namespace isa;  // register names and Assembler in kernel bodies
+
+namespace {
+
+constexpr uint64_t kSeed = 0x7453706f;  // deterministic workload id
+constexpr int kBlocks = 4;              // 4x4 grid of 4x4 element blocks
+
+// Register plan (both variants):
+//   R0 repeat counter   R1 inner (bj) counter   R9 outer (bi) counter
+//   R2 source pointer   R3 destination pointer
+void emit_block_addressing_reset(Assembler& a) {
+  a.li(R2, static_cast<int32_t>(kInputAddr));
+  a.li(R3, static_cast<int32_t>(kOutputAddr));
+}
+
+void emit_block_loop_tail(Assembler& a, const std::string& inner_label,
+                          const std::string& outer_label) {
+  // Inner advance: next block column (source +8 bytes; dest +4 rows).
+  a.saddi(R2, 8);
+  a.saddi(R3, 4 * TransposeKernel::kRowBytes);
+  a.loopnz(R1, inner_label);
+  // Outer advance: next block row (source +4 rows -32 already consumed;
+  // dest +8 bytes -4*4 rows already consumed).
+  a.saddi(R2, 4 * TransposeKernel::kRowBytes - 32);
+  a.saddi(R3, 8 - 4 * 4 * TransposeKernel::kRowBytes);
+  a.loopnz(R9, outer_label);
+}
+
+}  // namespace
+
+isa::Program TransposeKernel::build_mmx(int repeats) const {
+  Assembler a;
+  a.li(R0, repeats);
+  a.label("repeat");
+  a.li(R9, kBlocks);
+  emit_block_addressing_reset(a);
+  a.label("bi");
+  a.li(R1, kBlocks);
+  a.label("bj");
+  // Load the 4x4 block: rows r..r+3, one qword each.
+  a.movq_load(MM0, R2, 0 * kRowBytes);
+  a.movq_load(MM1, R2, 1 * kRowBytes);
+  a.movq_load(MM2, R2, 2 * kRowBytes);
+  a.movq_load(MM3, R2, 3 * kRowBytes);
+  // Figure 3: two levels of unpack merges (destructive, so copies first).
+  // Copies and stores are interleaved with the merges so each shifter op
+  // pairs with an ALU/memory op in the other pipe — the hand-scheduled
+  // style of the IPP routines.
+  a.movq(MM4, MM0);       // pairs with the last load
+  a.punpcklwd(MM0, MM1);  // t0 = a0 b0 a1 b1
+  a.movq(MM5, MM2);       //   | pairs
+  a.punpckhwd(MM4, MM1);  // t2 = a2 b2 a3 b3
+  a.movq(MM6, MM0);       //   | copy of t0, pairs
+  a.punpcklwd(MM2, MM3);  // t1 = c0 d0 c1 d1
+  a.movq(MM7, MM4);       //   | copy of t2, pairs
+  a.punpckhwd(MM5, MM3);  // t3 = c2 d2 c3 d3
+  a.punpckldq(MM0, MM2);  // out0 = a0 b0 c0 d0
+  a.movq_store(R3, 0 * kRowBytes, MM0);
+  a.punpckhdq(MM6, MM2);  // out1 = a1 b1 c1 d1 | pairs with the store
+  a.movq_store(R3, 1 * kRowBytes, MM6);
+  a.punpckldq(MM4, MM5);  // out2              | pairs
+  a.movq_store(R3, 2 * kRowBytes, MM4);
+  a.punpckhdq(MM7, MM5);  // out3              | pairs
+  a.movq_store(R3, 3 * kRowBytes, MM7);
+  emit_block_loop_tail(a, "bj", "bi");
+  a.loopnz(R0, "repeat");
+  a.halt();
+  return a.take();
+}
+
+std::optional<isa::Program> TransposeKernel::build_spu(
+    const core::CrossbarConfig& cfg, int repeats) const {
+  // One state per inner-loop instruction; the four MOVQ gathers pull whole
+  // columns out of MM0..MM3 (source window fits even configuration D).
+  core::MicroBuilder mb(cfg);
+  for (int i = 0; i < 4; ++i) mb.add_straight_state();  // the four loads
+  for (int col = 0; col < 4; ++col) {
+    core::Route r;
+    r.set_operand_both_pipes(
+        1, gather_words({{{0, col}, {1, col}, {2, col}, {3, col}}}));
+    mb.add_state(r);
+  }
+  for (int i = 0; i < 4; ++i) mb.add_straight_state();  // the four stores
+  for (int i = 0; i < 3; ++i) mb.add_straight_state();  // addi, addi, loopnz
+  mb.seal_simple_loop(kBlocks);
+
+  Assembler a;
+  emit_spu_prologue(a, {{0, &mb}});
+  a.li(R0, repeats);
+  a.label("repeat");
+  a.li(R9, kBlocks);
+  emit_block_addressing_reset(a);
+  a.label("bi");
+  a.li(R1, kBlocks);
+  core::emit_spu_go(a, 0);  // last instruction before the loop head
+  a.label("bj");
+  a.movq_load(MM0, R2, 0 * kRowBytes);
+  a.movq_load(MM1, R2, 1 * kRowBytes);
+  a.movq_load(MM2, R2, 2 * kRowBytes);
+  a.movq_load(MM3, R2, 3 * kRowBytes);
+  // Column gathers through the crossbar; the named source is immaterial.
+  a.movq(MM4, MM0);
+  a.movq(MM5, MM0);
+  a.movq(MM6, MM0);
+  a.movq(MM7, MM0);
+  a.movq_store(R3, 0 * kRowBytes, MM4);
+  a.movq_store(R3, 1 * kRowBytes, MM5);
+  a.movq_store(R3, 2 * kRowBytes, MM6);
+  a.movq_store(R3, 3 * kRowBytes, MM7);
+  emit_block_loop_tail(a, "bj", "bi");
+  a.loopnz(R0, "repeat");
+  a.halt();
+  return a.take();
+}
+
+void TransposeKernel::init_memory(sim::Memory& mem) const {
+  const auto m = ref::make_matrix(kN, kN, kSeed);
+  mem.write_span<int16_t>(kInputAddr, m);
+}
+
+bool TransposeKernel::verify(const sim::Memory& mem) const {
+  const auto m = ref::make_matrix(kN, kN, kSeed);
+  const auto want = ref::transpose(m, kN, kN);
+  return compare_i16(mem, kOutputAddr, want, name()) == 0;
+}
+
+}  // namespace subword::kernels

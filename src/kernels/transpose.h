@@ -1,0 +1,34 @@
+// transpose.h — 16x16 16-bit matrix transpose (paper Table 2: "16x16 Matrix
+// Transpose, 16-bits"; Figure 3 shows the 4x4 building block).
+//
+// Baseline: each 4x4 block of 16-bit elements is transposed with the
+// Figure-3 cascade — four register copies plus eight PUNPCK merges (the
+// inter-word restriction: a column's sub-words live in four different
+// registers, reachable only two registers at a time).
+//
+// SPU variant: the crossbar gathers a whole column into an operand, so each
+// block needs only four MOVQ gathers — the paper's "matrix transpose in
+// four instructions (one instruction for each column)".
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace subword::kernels {
+
+class TransposeKernel final : public MediaKernel {
+ public:
+  static constexpr int kN = 16;           // matrix dimension
+  static constexpr int kRowBytes = kN * 2;
+
+  [[nodiscard]] std::string name() const override { return "Matrix Transpose"; }
+  [[nodiscard]] std::string description() const override {
+    return "16x16 Matrix Transpose, 16-bits";
+  }
+  [[nodiscard]] isa::Program build_mmx(int repeats) const override;
+  [[nodiscard]] std::optional<isa::Program> build_spu(
+      const core::CrossbarConfig& cfg, int repeats) const override;
+  void init_memory(sim::Memory& mem) const override;
+  [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+};
+
+}  // namespace subword::kernels

@@ -1,0 +1,65 @@
+#include "profile/report.h"
+
+#include <sstream>
+
+#include "profile/table.h"
+
+namespace subword::prof {
+
+std::string run_report(const std::string& name, const sim::RunStats& s) {
+  std::ostringstream os;
+  os << "=== " << name << " ===\n";
+  Table t({"event", "count", "share"});
+  const auto total = static_cast<double>(s.instructions);
+  auto row = [&](const char* ev, uint64_t v) {
+    t.add_row({ev, sci(static_cast<double>(v)),
+               total > 0 ? pct(static_cast<double>(v) / total, 2) : "-"});
+  };
+  row("instructions", s.instructions);
+  row("  mmx total", s.mmx_instructions);
+  row("  mmx compute", s.mmx_compute);
+  row("  mmx permutation", s.mmx_permutation);
+  row("  mmx memory", s.mmx_memory);
+  row("  scalar", s.scalar_instructions);
+  row("  branches", s.branches);
+  row("  mispredicts", s.branch_mispredicts);
+  os << t.render();
+  os << "cycles            " << sci(static_cast<double>(s.cycles)) << "\n";
+  os << "IPC               " << fixed(s.ipc(), 3) << "\n";
+  os << "MMX busy cycles   " << pct(s.mmx_busy_fraction(), 1) << "\n";
+  os << "mispredict rate   " << pct(s.mispredict_rate(), 3) << "\n";
+  if (s.spu_routed_ops > 0 || s.spu_mmio_stores > 0) {
+    os << "SPU routed ops    " << sci(static_cast<double>(s.spu_routed_ops))
+       << "\n";
+    os << "SPU MMIO stores   " << s.spu_mmio_stores << "\n";
+  }
+  return os.str();
+}
+
+SpeedupSummary summarize(const sim::RunStats& baseline,
+                         const sim::RunStats& spu) {
+  SpeedupSummary out;
+  if (spu.cycles > 0) {
+    out.speedup = static_cast<double>(baseline.cycles) /
+                  static_cast<double>(spu.cycles);
+  }
+  out.cycles_saved = static_cast<double>(baseline.cycles) -
+                     static_cast<double>(spu.cycles);
+  if (baseline.mmx_permutation > 0) {
+    out.permute_offload =
+        static_cast<double>(baseline.mmx_permutation -
+                            std::min(baseline.mmx_permutation,
+                                     spu.mmx_permutation)) /
+        static_cast<double>(baseline.mmx_permutation);
+  }
+  if (baseline.instructions > 0 && baseline.instructions > spu.instructions) {
+    out.instr_savings =
+        static_cast<double>(baseline.instructions - spu.instructions) /
+        static_cast<double>(baseline.instructions);
+  }
+  out.mmx_busy_baseline = baseline.mmx_busy_fraction();
+  out.mmx_busy_spu = spu.mmx_busy_fraction();
+  return out;
+}
+
+}  // namespace subword::prof

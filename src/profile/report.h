@@ -1,0 +1,26 @@
+// report.h — VTune-style run reports (the role VTune played in §5.2.1).
+#pragma once
+
+#include <string>
+
+#include "sim/stats.h"
+
+namespace subword::prof {
+
+// Full category breakdown of one run.
+[[nodiscard]] std::string run_report(const std::string& name,
+                                     const sim::RunStats& s);
+
+// Figure-9-style comparison numbers between a baseline and an SPU run.
+struct SpeedupSummary {
+  double speedup = 0;             // baseline cycles / spu cycles
+  double cycles_saved = 0;        // baseline - spu
+  double permute_offload = 0;     // fraction of permutation instrs removed
+  double instr_savings = 0;       // fraction of all instrs removed
+  double mmx_busy_baseline = 0;   // hashed bar of Figure 9
+  double mmx_busy_spu = 0;
+};
+[[nodiscard]] SpeedupSummary summarize(const sim::RunStats& baseline,
+                                       const sim::RunStats& spu);
+
+}  // namespace subword::prof

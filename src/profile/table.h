@@ -1,0 +1,32 @@
+// table.h — fixed-width text tables for the benchmark harness (the benches
+// print the same rows the paper's tables report).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace subword::prof {
+
+// Engineering notation like the paper's tables: 1.51E+10.
+[[nodiscard]] std::string sci(double v, int digits = 2);
+
+// Percentage with fixed decimals: "0.094%".
+[[nodiscard]] std::string pct(double fraction, int digits = 3);
+
+// Fixed decimals.
+[[nodiscard]] std::string fixed(double v, int digits = 2);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace subword::prof

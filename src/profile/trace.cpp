@@ -1,0 +1,54 @@
+#include "profile/trace.h"
+
+#include <sstream>
+
+#include "isa/disasm.h"
+
+namespace subword::prof {
+
+sim::TraceFn Tracer::hook() {
+  return [this](const sim::TraceEvent& ev) {
+    if (records_.size() >= max_) {
+      truncated_ = true;
+      return;
+    }
+    TraceRecord r;
+    r.cycle = ev.cycle;
+    r.index = ev.index;
+    r.pipe = ev.pipe;
+    r.mispredicted = ev.mispredicted;
+    r.text = isa::disassemble(*ev.inst);
+    records_.push_back(std::move(r));
+  };
+}
+
+std::string Tracer::render() const {
+  std::ostringstream os;
+  uint64_t prev_cycle = 0;
+  bool first = true;
+  for (size_t i = 0; i < records_.size();) {
+    const auto& u = records_[i];
+    if (!first && u.cycle > prev_cycle + 1) {
+      os << "  (stall/bubble x" << (u.cycle - prev_cycle - 1) << ")\n";
+    }
+    first = false;
+    prev_cycle = u.cycle;
+    os << "cycle " << u.cycle << ": U= " << u.text;
+    if (u.mispredicted) os << " [MISPREDICT]";
+    // A V-pipe record in the same cycle pairs with this one.
+    if (i + 1 < records_.size() && records_[i + 1].cycle == u.cycle &&
+        records_[i + 1].pipe == sim::Pipe::V) {
+      const auto& v = records_[i + 1];
+      os << "\t| V= " << v.text;
+      if (v.mispredicted) os << " [MISPREDICT]";
+      i += 2;
+    } else {
+      ++i;
+    }
+    os << "\n";
+  }
+  if (truncated_) os << "  (trace truncated)\n";
+  return os.str();
+}
+
+}  // namespace subword::prof

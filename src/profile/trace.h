@@ -1,0 +1,55 @@
+// trace.h — execution trace collection and rendering.
+//
+// Attaches to sim::Machine's trace hook and renders a cycle-by-cycle
+// pipeline view (which instruction issued in U and V each cycle, where
+// stalls and mispredict bubbles sit). Used by examples and debugging; the
+// renderer is deterministic and unit-tested.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace subword::prof {
+
+struct TraceRecord {
+  uint64_t cycle = 0;
+  uint64_t index = 0;
+  sim::Pipe pipe = sim::Pipe::U;
+  bool mispredicted = false;
+  std::string text;  // disassembly
+};
+
+class Tracer {
+ public:
+  // Collects up to `max_records` events (older events are kept; the tail
+  // is dropped so the interesting warmup is visible by default).
+  explicit Tracer(size_t max_records = 4096) : max_(max_records) {}
+
+  // Returns the hook to install via Machine::set_trace.
+  [[nodiscard]] sim::TraceFn hook();
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  void clear() {
+    records_.clear();
+    truncated_ = false;
+  }
+
+  // Cycle-per-line pipeline rendering:
+  //   cycle 12: U= paddw mm0, mm1      V= psubw mm2, mm3
+  //   cycle 13: U= loopnz r1, @4 [MISPREDICT]
+  // Gaps between issue cycles are rendered as "(stall/bubble xN)".
+  [[nodiscard]] std::string render() const;
+
+ private:
+  size_t max_;
+  std::vector<TraceRecord> records_;
+  bool truncated_ = false;
+};
+
+}  // namespace subword::prof

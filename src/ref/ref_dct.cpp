@@ -1,0 +1,42 @@
+#include "ref/ref_dct.h"
+
+#include "swar/saturate.h"
+
+namespace subword::ref {
+
+Block8x8 dct_rows(const Block8x8& in, std::span<const int16_t> basis) {
+  Block8x8 out{};
+  for (int r = 0; r < 8; ++r) {
+    for (int u = 0; u < 8; ++u) {
+      uint32_t acc = 0;  // wrapping, as the PADDD chain wraps
+      for (int x = 0; x < 8; ++x) {
+        const int32_t p =
+            static_cast<int32_t>(in[static_cast<size_t>(r * 8 + x)]) *
+            static_cast<int32_t>(basis[static_cast<size_t>(u * 8 + x)]);
+        acc += static_cast<uint32_t>(p);
+      }
+      out[static_cast<size_t>(r * 8 + u)] =
+          swar::saturate<int16_t, int32_t>(static_cast<int32_t>(acc) >> 13);
+    }
+  }
+  return out;
+}
+
+Block8x8 transpose8(const Block8x8& in) {
+  Block8x8 out{};
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      out[static_cast<size_t>(c * 8 + r)] = in[static_cast<size_t>(r * 8 + c)];
+    }
+  }
+  return out;
+}
+
+Block8x8 dct2d(const Block8x8& in, std::span<const int16_t> basis) {
+  const Block8x8 rows = dct_rows(in, basis);
+  const Block8x8 t1 = transpose8(rows);
+  const Block8x8 cols = dct_rows(t1, basis);
+  return transpose8(cols);
+}
+
+}  // namespace subword::ref

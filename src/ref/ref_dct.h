@@ -1,0 +1,30 @@
+// ref_dct.h — scalar golden 8x8 forward DCT (row-column, fixed point).
+//
+// Semantics contract shared with the MMX kernel (kernels/dct.h):
+//   1-D pass on a row vector v with Q13 basis C (ref/workload make_dct_basis):
+//       out[u] = sat16( wrap32( sum_x v[x] * C[u][x] ) >> 13 )
+//   2-D: pass over the 8 rows, transpose, pass over the 8 rows of the
+//   result, transpose back — exactly the kernel's phase structure (the
+//   transposes are the permutation-heavy part the SPU eliminates).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace subword::ref {
+
+using Block8x8 = std::array<int16_t, 64>;
+
+// One-dimensional 8-point DCT of each row of `in` (row-major).
+[[nodiscard]] Block8x8 dct_rows(const Block8x8& in,
+                                std::span<const int16_t> basis);
+
+[[nodiscard]] Block8x8 transpose8(const Block8x8& in);
+
+// Full 2-D DCT with the kernel's exact phase ordering.
+[[nodiscard]] Block8x8 dct2d(const Block8x8& in,
+                             std::span<const int16_t> basis);
+
+}  // namespace subword::ref

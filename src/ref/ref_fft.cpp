@@ -1,0 +1,112 @@
+#include "ref/ref_fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "swar/saturate.h"
+
+namespace subword::ref {
+namespace {
+
+int log2_exact(size_t n) {
+  int b = 0;
+  while ((size_t{1} << b) < n) ++b;
+  if ((size_t{1} << b) != n) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  return b;
+}
+
+int16_t sat16(int32_t v) { return swar::saturate<int16_t, int32_t>(v); }
+
+}  // namespace
+
+FftTables make_fft_tables(size_t n) {
+  FftTables t;
+  t.n = n;
+  const int stages = log2_exact(n);
+  constexpr double kPi = 3.14159265358979323846;
+
+  // Bit-reversal index table.
+  t.bitrev.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = 0;
+    for (int b = 0; b < stages; ++b) {
+      if ((i >> b) & 1) r |= size_t{1} << (stages - 1 - b);
+    }
+    t.bitrev[i] = static_cast<int32_t>(r);
+  }
+
+  // Linear per-stage twiddle pair tables for stages >= 2.
+  for (int s = 2; s <= stages; ++s) {
+    const size_t m = size_t{1} << s;
+    const size_t half = m / 2;
+    for (size_t j = 0; j < half; ++j) {
+      const double a = -2.0 * kPi * static_cast<double>(j) /
+                       static_cast<double>(m);
+      const auto wr = static_cast<int16_t>(std::lround(std::cos(a) * 32767.0));
+      const auto wi = static_cast<int16_t>(std::lround(std::sin(a) * 32767.0));
+      t.tw_re.push_back(wr);
+      t.tw_re.push_back(static_cast<int16_t>(-wi));
+      t.tw_im.push_back(wi);
+      t.tw_im.push_back(wr);
+    }
+  }
+  return t;
+}
+
+void fft(std::vector<int16_t>& data, const FftTables& tables) {
+  const size_t n = tables.n;
+  if (data.size() != 2 * n) {
+    throw std::invalid_argument("fft: data size mismatch");
+  }
+  const int stages = log2_exact(n);
+
+  // Bit-reversal permutation (swap once per pair).
+  for (size_t i = 0; i < n; ++i) {
+    const auto r = static_cast<size_t>(tables.bitrev[i]);
+    if (r > i) {
+      std::swap(data[2 * i], data[2 * r]);
+      std::swap(data[2 * i + 1], data[2 * r + 1]);
+    }
+  }
+
+  // Stage 1: W = 1 butterflies on adjacent elements.
+  for (size_t i = 0; i < n; i += 2) {
+    const int32_t ar = data[2 * i], ai = data[2 * i + 1];
+    const int32_t br = data[2 * i + 2], bi = data[2 * i + 3];
+    data[2 * i] = static_cast<int16_t>(sat16(ar + br) >> 1);
+    data[2 * i + 1] = static_cast<int16_t>(sat16(ai + bi) >> 1);
+    data[2 * i + 2] = static_cast<int16_t>(sat16(ar - br) >> 1);
+    data[2 * i + 3] = static_cast<int16_t>(sat16(ai - bi) >> 1);
+  }
+
+  // Stages >= 2, twiddle pairs consumed linearly.
+  size_t tw = 0;  // pair index
+  for (int s = 2; s <= stages; ++s) {
+    const size_t m = size_t{1} << s;
+    const size_t half = m / 2;
+    for (size_t j = 0; j < half; ++j) {
+      const int32_t wr = tables.tw_re[2 * (tw + j)];
+      const int32_t nwi = tables.tw_re[2 * (tw + j) + 1];  // = -wi
+      const int32_t wi = tables.tw_im[2 * (tw + j)];
+      const int32_t wr2 = tables.tw_im[2 * (tw + j) + 1];
+      for (size_t base = 0; base < n; base += m) {
+        const size_t ia = base + j;
+        const size_t ib = ia + half;
+        const int32_t ar = data[2 * ia], ai = data[2 * ia + 1];
+        const int32_t br = data[2 * ib], bi = data[2 * ib + 1];
+        // PMADDWD pairs: [br, bi] . [wr, -wi] and [br, bi] . [wi, wr].
+        const int32_t tre = sat16((br * wr + bi * nwi) >> 15);
+        const int32_t tim = sat16((br * wi + bi * wr2) >> 15);
+        data[2 * ia] = static_cast<int16_t>(sat16(ar + tre) >> 1);
+        data[2 * ia + 1] = static_cast<int16_t>(sat16(ai + tim) >> 1);
+        data[2 * ib] = static_cast<int16_t>(sat16(ar - tre) >> 1);
+        data[2 * ib + 1] = static_cast<int16_t>(sat16(ai - tim) >> 1);
+      }
+    }
+    tw += half;
+  }
+}
+
+}  // namespace subword::ref

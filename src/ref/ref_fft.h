@@ -1,0 +1,37 @@
+// ref_fft.h — scalar golden radix-2 fixed-point FFT (Q15).
+//
+// Semantics contract shared with the MMX kernel (kernels/fft.h):
+//  * input: N complex samples, interleaved int16 (re, im), N a power of 2;
+//  * bit-reversal permutation first (precomputed index table);
+//  * stage 1 (W = 1):   a' = sat16(a + b) >> 1,  b' = sat16(a - b) >> 1
+//    (PADDSW/PSUBSW then PSRAW 1);
+//  * stages s >= 2: t = W * b with
+//        t_re = sat16( (br*wr - bi*wi) >> 15 )
+//        t_im = sat16( (br*wi + bi*wr) >> 15 )
+//    computed exactly as PMADDWD -> PSRAD 15 -> PACKSSDW, then
+//        a' = sat16(a + t) >> 1,   b' = sat16(a - t) >> 1.
+//  * twiddles W = e^(-2*pi*i*k/N) stored Q15 in two pair tables laid out
+//    linearly per stage, exactly as the kernel walks them:
+//        tw_re[k] = (wr, -wi)   feeding the PMADDWD that produces t_re
+//        tw_im[k] = (wi,  wr)   feeding the PMADDWD that produces t_im
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace subword::ref {
+
+struct FftTables {
+  std::vector<int16_t> tw_re;   // interleaved pairs, one per butterfly col
+  std::vector<int16_t> tw_im;
+  std::vector<int32_t> bitrev;  // bit-reversed index per position
+  size_t n = 0;
+};
+
+[[nodiscard]] FftTables make_fft_tables(size_t n);
+
+// In-place transform of interleaved complex Q15 data (size 2n).
+void fft(std::vector<int16_t>& data, const FftTables& tables);
+
+}  // namespace subword::ref

@@ -1,0 +1,24 @@
+#include "ref/ref_fir.h"
+
+#include "swar/saturate.h"
+
+namespace subword::ref {
+
+std::vector<int16_t> fir(std::span<const int16_t> x,
+                         std::span<const int16_t> coeffs, int shift) {
+  std::vector<int16_t> y(x.size());
+  for (size_t n = 0; n < x.size(); ++n) {
+    uint32_t acc = 0;  // wrapping, as the PADDD accumulator chain wraps
+    for (size_t k = 0; k < coeffs.size(); ++k) {
+      if (n < k) break;
+      const int32_t prod = static_cast<int32_t>(coeffs[k]) *
+                           static_cast<int32_t>(x[n - k]);
+      acc += static_cast<uint32_t>(prod);
+    }
+    const int32_t shifted = static_cast<int32_t>(acc) >> shift;
+    y[n] = swar::saturate<int16_t, int32_t>(shifted);
+  }
+  return y;
+}
+
+}  // namespace subword::ref

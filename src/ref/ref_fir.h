@@ -1,0 +1,20 @@
+// ref_fir.h — scalar golden FIR filter.
+//
+// Semantics contract shared with the MMX kernel (kernels/fir.h):
+//   y[n] = sat16( wrap32( sum_k c[k] * x[n-k] ) >> shift )
+// with 32-bit wrapping accumulation (matching PMADDWD/PADDD chains) and
+// zero-initialized history before the block.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace subword::ref {
+
+[[nodiscard]] std::vector<int16_t> fir(std::span<const int16_t> x,
+                                       std::span<const int16_t> coeffs,
+                                       int shift);
+
+}  // namespace subword::ref

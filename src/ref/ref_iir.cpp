@@ -1,0 +1,29 @@
+#include "ref/ref_iir.h"
+
+#include "swar/saturate.h"
+
+namespace subword::ref {
+
+std::vector<int16_t> iir(std::span<const int16_t> x,
+                         std::span<const int16_t> b,
+                         std::span<const int16_t> a, int shift) {
+  std::vector<int16_t> y(x.size());
+  for (size_t n = 0; n < x.size(); ++n) {
+    int64_t acc = 0;
+    for (size_t k = 0; k < b.size(); ++k) {
+      if (n < k) break;
+      acc += static_cast<int64_t>(b[k]) * static_cast<int64_t>(x[n - k]);
+    }
+    for (size_t k = 1; k <= a.size(); ++k) {
+      if (n < k) break;
+      acc -= static_cast<int64_t>(a[k - 1]) * static_cast<int64_t>(y[n - k]);
+    }
+    // The kernel moves the shifted accumulator into MMX through MOVD
+    // (32-bit) before PACKSSDW saturates it; mirror the truncation.
+    const auto t = static_cast<int32_t>(acc >> shift);
+    y[n] = swar::saturate<int16_t, int32_t>(t);
+  }
+  return y;
+}
+
+}  // namespace subword::ref

@@ -1,0 +1,22 @@
+// ref_iir.h — scalar golden direct-form-I IIR filter.
+//
+// Semantics contract shared with the MMX kernel (kernels/iir.h):
+//   acc  = sum_k b[k] * x[n-k]          (exact 64-bit)
+//   acc -= sum_k a[k] * y[n-k]          (k >= 1, exact 64-bit)
+//   y[n] = sat16(acc >> shift)
+// "10 TAP" in the paper's Table 2 = 5 feed-forward + 5 feedback taps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace subword::ref {
+
+[[nodiscard]] std::vector<int16_t> iir(std::span<const int16_t> x,
+                                       std::span<const int16_t> b,
+                                       std::span<const int16_t> a,
+                                       int shift);
+
+}  // namespace subword::ref

@@ -1,0 +1,55 @@
+#include "ref/ref_mat.h"
+
+#include "swar/saturate.h"
+
+namespace subword::ref {
+
+std::vector<int16_t> matmul(std::span<const int16_t> a,
+                            std::span<const int16_t> b, size_t n,
+                            int shift) {
+  std::vector<int16_t> c(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      uint32_t acc = 0;  // wrapping, as the PADDD chain wraps
+      for (size_t k = 0; k < n; ++k) {
+        const int32_t p = static_cast<int32_t>(a[i * n + k]) *
+                          static_cast<int32_t>(b[k * n + j]);
+        acc += static_cast<uint32_t>(p);
+      }
+      c[i * n + j] =
+          swar::saturate<int16_t, int32_t>(static_cast<int32_t>(acc) >> shift);
+    }
+  }
+  return c;
+}
+
+std::vector<int16_t> matmul_q15(std::span<const int16_t> a,
+                                std::span<const int16_t> b, size_t n) {
+  std::vector<int16_t> c(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      int16_t acc = 0;
+      for (size_t k = 0; k < n; ++k) {
+        const int32_t p = static_cast<int32_t>(a[i * n + k]) *
+                          static_cast<int32_t>(b[k * n + j]);
+        const auto term = static_cast<int16_t>(p >> 16);  // PMULHW
+        acc = swar::sat_add<int16_t>(acc, term);          // PADDSW
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+std::vector<int16_t> transpose(std::span<const int16_t> m, size_t rows,
+                               size_t cols) {
+  std::vector<int16_t> t(rows * cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      t[c * rows + r] = m[r * cols + c];
+    }
+  }
+  return t;
+}
+
+}  // namespace subword::ref

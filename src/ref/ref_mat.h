@@ -1,0 +1,30 @@
+// ref_mat.h — scalar golden matrix kernels (16-bit, fixed point).
+//
+// Semantics contract shared with the MMX kernels:
+//   matmul:   C[i][j] = sat16( wrap32( sum_k A[i][k]*B[k][j] ) >> shift )
+//   transpose: T[j][i] = M[i][j]
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace subword::ref {
+
+[[nodiscard]] std::vector<int16_t> matmul(std::span<const int16_t> a,
+                                          std::span<const int16_t> b,
+                                          size_t n, int shift);
+
+// Broadcast-style Q15 matmul, the semantics of the MMX kernel:
+//   C[i][j] = saturating sum over k (ascending) of (a[i][k]*b[k][j]) >> 16
+// i.e. PMULHW products accumulated with PADDSW in k order (saturating
+// accumulation is order-sensitive; the kernel and this reference agree).
+[[nodiscard]] std::vector<int16_t> matmul_q15(std::span<const int16_t> a,
+                                              std::span<const int16_t> b,
+                                              size_t n);
+
+[[nodiscard]] std::vector<int16_t> transpose(std::span<const int16_t> m,
+                                             size_t rows, size_t cols);
+
+}  // namespace subword::ref

@@ -1,0 +1,60 @@
+#include "ref/workload.h"
+
+#include <cmath>
+
+namespace subword::ref {
+
+std::vector<int16_t> make_samples(size_t n, uint64_t seed,
+                                  int16_t amplitude) {
+  Rng rng(seed);
+  std::vector<int16_t> out(n);
+  for (auto& s : out) s = rng.sample_q15(amplitude);
+  return out;
+}
+
+std::vector<int16_t> make_coeffs(size_t taps, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int16_t> out(taps);
+  for (auto& c : out) c = static_cast<int16_t>(rng.range(-2000, 2000));
+  return out;
+}
+
+std::vector<int16_t> make_matrix(size_t rows, size_t cols, uint64_t seed,
+                                 int16_t amplitude) {
+  Rng rng(seed);
+  std::vector<int16_t> out(rows * cols);
+  for (auto& v : out) v = static_cast<int16_t>(rng.range(-amplitude, amplitude));
+  return out;
+}
+
+std::vector<int16_t> make_twiddles(size_t n) {
+  std::vector<int16_t> out(n / 2 * 2);  // interleaved (cos, -sin)
+  constexpr double kPi = 3.14159265358979323846;
+  for (size_t k = 0; k < n / 2; ++k) {
+    const double a = 2.0 * kPi * static_cast<double>(k) /
+                     static_cast<double>(n);
+    const double c = std::cos(a) * 32767.0;
+    const double s = -std::sin(a) * 32767.0;
+    out[2 * k] = static_cast<int16_t>(std::lround(c));
+    out[2 * k + 1] = static_cast<int16_t>(std::lround(s));
+  }
+  return out;
+}
+
+std::vector<int16_t> make_dct_basis() {
+  std::vector<int16_t> out(64);
+  constexpr double kPi = 3.14159265358979323846;
+  const double s0 = std::sqrt(0.125);        // 1/sqrt(8)
+  const double s = 0.5;                      // sqrt(2/8)
+  for (int u = 0; u < 8; ++u) {
+    for (int x = 0; x < 8; ++x) {
+      const double scale = (u == 0) ? s0 : s;
+      const double v = scale * std::cos((2 * x + 1) * u * kPi / 16.0);
+      out[static_cast<size_t>(u * 8 + x)] =
+          static_cast<int16_t>(std::lround(v * 8192.0));  // Q13
+    }
+  }
+  return out;
+}
+
+}  // namespace subword::ref

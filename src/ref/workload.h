@@ -1,0 +1,63 @@
+// workload.h — deterministic synthetic workload generation.
+//
+// The paper ran the Intel IPP sample workloads; we have no access to those
+// inputs, so every experiment uses seeded synthetic data (the kernels under
+// study contain no data-dependent branches, so cycle counts are input-
+// independent; numeric correctness is checked bit-exactly against the
+// references either way).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace subword::ref {
+
+// SplitMix64 — tiny, high-quality, reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int32_t range(int32_t lo, int32_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int32_t>(next() % span);
+  }
+
+  int16_t sample_q15(int16_t amplitude = 16000) {
+    return static_cast<int16_t>(range(-amplitude, amplitude));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// A block of 16-bit samples (audio-like, bounded amplitude so FIR/IIR
+// accumulators stay in comfortable fixed-point range).
+[[nodiscard]] std::vector<int16_t> make_samples(size_t n, uint64_t seed,
+                                                int16_t amplitude = 12000);
+
+// FIR/IIR coefficients, Q15-ish but small enough that sums stay sane.
+[[nodiscard]] std::vector<int16_t> make_coeffs(size_t taps, uint64_t seed);
+
+// Row-major 16-bit matrix with small entries.
+[[nodiscard]] std::vector<int16_t> make_matrix(size_t rows, size_t cols,
+                                               uint64_t seed,
+                                               int16_t amplitude = 1000);
+
+// Q15 cosine table: cos(2*pi*k/n) for k in [0, n/2), used by the FFT
+// kernel and its reference.
+[[nodiscard]] std::vector<int16_t> make_twiddles(size_t n);
+
+// Q15 DCT-II basis, 8x8: C[u][x] = s(u) * cos((2x+1)u*pi/16) in Q13
+// (Q13 keeps the 1-D pass inside 16-bit after the pmaddwd/shift step).
+[[nodiscard]] std::vector<int16_t> make_dct_basis();
+
+}  // namespace subword::ref

@@ -1,0 +1,65 @@
+#include "sim/bpred.h"
+
+#include <stdexcept>
+
+namespace subword::sim {
+
+namespace {
+bool is_power_of_two(int v) { return v > 0 && (v & (v - 1)) == 0; }
+constexpr int kHistoryBits = 8;
+constexpr size_t kPatterns = size_t{1} << kHistoryBits;
+}  // namespace
+
+BranchPredictor::BranchPredictor(int entries, PredictorKind kind)
+    : kind_(kind), mask_(static_cast<size_t>(entries) - 1) {
+  if (!is_power_of_two(entries)) {
+    throw std::invalid_argument("BranchPredictor: entries must be 2^k");
+  }
+  if (kind_ == PredictorKind::TwoBit) {
+    counters_.assign(static_cast<size_t>(entries), 1);  // weakly not-taken
+  } else {
+    entries_.resize(static_cast<size_t>(entries));
+    for (auto& e : entries_) e.counters.assign(kPatterns, 1);
+  }
+}
+
+bool BranchPredictor::predict(uint64_t pc) const {
+  if (kind_ == PredictorKind::TwoBit) {
+    return counters_[index(pc)] >= 2;
+  }
+  const Entry& e = entries_[index(pc)];
+  return e.counters[e.history] >= 2;
+}
+
+bool BranchPredictor::update(uint64_t pc, bool taken) {
+  if (kind_ == PredictorKind::TwoBit) {
+    uint8_t& c = counters_[index(pc)];
+    const bool correct = (c >= 2) == taken;
+    if (taken) {
+      if (c < 3) ++c;
+    } else {
+      if (c > 0) --c;
+    }
+    return correct;
+  }
+  Entry& e = entries_[index(pc)];
+  uint8_t& c = e.counters[e.history];
+  const bool correct = (c >= 2) == taken;
+  if (taken) {
+    if (c < 3) ++c;
+  } else {
+    if (c > 0) --c;
+  }
+  e.history = static_cast<uint8_t>((e.history << 1) | (taken ? 1 : 0));
+  return correct;
+}
+
+void BranchPredictor::reset() {
+  for (auto& c : counters_) c = 1;
+  for (auto& e : entries_) {
+    e.history = 0;
+    for (auto& c : e.counters) c = 1;
+  }
+}
+
+}  // namespace subword::sim

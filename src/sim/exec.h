@@ -1,0 +1,27 @@
+// exec.h — pure functional semantics of the MMX data operations.
+//
+// The machine gathers operand values (possibly via the SPU crossbar) and
+// calls mmx_alu; keeping the semantics free of machine state makes every
+// opcode unit-testable in isolation and lets the SPU substitute operands
+// without special cases.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcodes.h"
+#include "swar/swar.h"
+
+namespace subword::sim {
+
+// Computes the result of a two-operand MMX data instruction.
+//   a     first operand (the destination register's prior value)
+//   b     second operand (source register / loaded memory value)
+//   count shift count (for shift ops; pre-resolved from imm8 or register)
+// Throws std::logic_error for ops with no ALU semantics (loads/stores/emms).
+[[nodiscard]] swar::Vec64 mmx_alu(isa::Op op, swar::Vec64 a, swar::Vec64 b,
+                                  uint64_t count = 0);
+
+// True if the op is handled by mmx_alu (pure register->register dataflow).
+[[nodiscard]] bool has_alu_semantics(isa::Op op);
+
+}  // namespace subword::sim

@@ -1,0 +1,80 @@
+#include "sim/memory.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace subword::sim {
+
+Memory::Memory(size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+void Memory::check_range(uint64_t addr, uint64_t len) const {
+  if (addr + len > bytes_.size() || addr + len < addr) {
+    throw std::out_of_range("Memory access out of range: addr=" +
+                            std::to_string(addr) +
+                            " len=" + std::to_string(len));
+  }
+}
+
+uint8_t Memory::read8(uint64_t addr) const {
+  check_range(addr, 1);
+  return bytes_[addr];
+}
+
+uint16_t Memory::read16(uint64_t addr) const {
+  check_range(addr, 2);
+  uint16_t v;
+  std::memcpy(&v, bytes_.data() + addr, 2);
+  return v;
+}
+
+uint32_t Memory::read32(uint64_t addr) {
+  if (in_device_window(addr)) {
+    return device_->read32(addr - device_base_);
+  }
+  check_range(addr, 4);
+  uint32_t v;
+  std::memcpy(&v, bytes_.data() + addr, 4);
+  return v;
+}
+
+uint64_t Memory::read64(uint64_t addr) const {
+  check_range(addr, 8);
+  uint64_t v;
+  std::memcpy(&v, bytes_.data() + addr, 8);
+  return v;
+}
+
+void Memory::write8(uint64_t addr, uint8_t v) {
+  check_range(addr, 1);
+  bytes_[addr] = v;
+}
+
+void Memory::write16(uint64_t addr, uint16_t v) {
+  check_range(addr, 2);
+  std::memcpy(bytes_.data() + addr, &v, 2);
+}
+
+void Memory::write32(uint64_t addr, uint32_t v) {
+  if (in_device_window(addr)) {
+    device_->write32(addr - device_base_, v);
+    return;
+  }
+  check_range(addr, 4);
+  std::memcpy(bytes_.data() + addr, &v, 4);
+}
+
+void Memory::write64(uint64_t addr, uint64_t v) {
+  check_range(addr, 8);
+  std::memcpy(bytes_.data() + addr, &v, 8);
+}
+
+void Memory::map_device(uint64_t base, uint64_t window_size, Device* dev) {
+  if (device_ != nullptr && dev != nullptr) {
+    throw std::logic_error("Memory: a device window is already mapped");
+  }
+  device_ = dev;
+  device_base_ = base;
+  device_size_ = window_size;
+}
+
+}  // namespace subword::sim

@@ -1,0 +1,90 @@
+// memory.h — byte-addressable simulated memory with device (MMIO) regions.
+//
+// The SPU control registers are memory-mapped (paper §3/§4); devices
+// register an address window and receive the stores/loads that hit it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace subword::sim {
+
+// A memory-mapped device. Addresses passed in are offsets from the device
+// base. Only the access widths the device supports need be overridden.
+class Device {
+ public:
+  virtual ~Device() = default;
+  virtual void write32(uint64_t offset, uint32_t value) = 0;
+  virtual uint32_t read32(uint64_t offset) = 0;
+};
+
+class Memory {
+ public:
+  explicit Memory(size_t size_bytes);
+
+  [[nodiscard]] size_t size() const { return bytes_.size(); }
+
+  [[nodiscard]] uint8_t read8(uint64_t addr) const;
+  [[nodiscard]] uint16_t read16(uint64_t addr) const;
+  [[nodiscard]] uint32_t read32(uint64_t addr);
+  [[nodiscard]] uint64_t read64(uint64_t addr) const;
+
+  void write8(uint64_t addr, uint8_t v);
+  void write16(uint64_t addr, uint16_t v);
+  void write32(uint64_t addr, uint32_t v);
+  void write64(uint64_t addr, uint64_t v);
+
+  // Bulk typed access for workload setup / verification (bounds checked).
+  template <typename T>
+  void write_span(uint64_t addr, std::span<const T> data) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      if constexpr (sizeof(T) == 2) {
+        write16(addr + 2 * i, static_cast<uint16_t>(data[i]));
+      } else if constexpr (sizeof(T) == 4) {
+        write32(addr + 4 * i, static_cast<uint32_t>(data[i]));
+      } else if constexpr (sizeof(T) == 8) {
+        write64(addr + 8 * i, static_cast<uint64_t>(data[i]));
+      } else {
+        write8(addr + i, static_cast<uint8_t>(data[i]));
+      }
+    }
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> read_vector(uint64_t addr, size_t count) const {
+    std::vector<T> out(count);
+    for (size_t i = 0; i < count; ++i) {
+      if constexpr (sizeof(T) == 2) {
+        out[i] = static_cast<T>(read16(addr + 2 * i));
+      } else if constexpr (sizeof(T) == 4) {
+        out[i] = static_cast<T>(
+            const_cast<Memory*>(this)->read32(addr + 4 * i));
+      } else if constexpr (sizeof(T) == 8) {
+        out[i] = static_cast<T>(read64(addr + 8 * i));
+      } else {
+        out[i] = static_cast<T>(read8(addr + i));
+      }
+    }
+    return out;
+  }
+
+  // Map a device at [base, base+window_size). 32-bit accesses inside the
+  // window are forwarded; other widths inside the window are rejected.
+  void map_device(uint64_t base, uint64_t window_size, Device* dev);
+
+  [[nodiscard]] bool in_device_window(uint64_t addr) const {
+    return device_ != nullptr && addr >= device_base_ &&
+           addr < device_base_ + device_size_;
+  }
+
+ private:
+  void check_range(uint64_t addr, uint64_t len) const;
+
+  std::vector<uint8_t> bytes_;
+  Device* device_ = nullptr;
+  uint64_t device_base_ = 0;
+  uint64_t device_size_ = 0;
+};
+
+}  // namespace subword::sim

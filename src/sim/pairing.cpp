@@ -1,0 +1,165 @@
+#include "sim/pairing.h"
+
+namespace subword::sim {
+namespace {
+
+using isa::ExecClass;
+using isa::Inst;
+using isa::Op;
+
+constexpr uint8_t kGpBase = isa::kNumMmxRegs;
+
+bool is_mem(ExecClass c) {
+  return c == ExecClass::MmxLoad || c == ExecClass::MmxStore ||
+         c == ExecClass::ScalarLoad || c == ExecClass::ScalarStore;
+}
+
+}  // namespace
+
+RegSet regs_read(const Inst& in) {
+  RegSet rs;
+  const auto& info = isa::op_info(in.op);
+  if (info.is_mmx) {
+    const auto mm = isa::mmx_reads(in);
+    for (int i = 0; i < mm.count; ++i) rs.add(mm.regs[i]);
+    // Memory-operand base register and GP source of movd.
+    switch (in.op) {
+      case Op::MovqLoad:
+      case Op::MovqStore:
+      case Op::MovdLoad:
+      case Op::MovdStore:
+        rs.add(static_cast<uint8_t>(kGpBase + in.base));
+        break;
+      case Op::MovdToMmx:
+        rs.add(static_cast<uint8_t>(kGpBase + in.src));
+        break;
+      default:
+        break;
+    }
+    return rs;
+  }
+  switch (in.op) {
+    case Op::Li:
+    case Op::Nop:
+    case Op::Halt:
+    case Op::Jmp:
+      break;
+    case Op::SMov:
+      rs.add(static_cast<uint8_t>(kGpBase + in.src));
+      break;
+    case Op::SAdd:
+    case Op::SSub:
+    case Op::SMul:
+    case Op::SAnd:
+    case Op::SOr:
+    case Op::SXor:
+      rs.add(static_cast<uint8_t>(kGpBase + in.dst));
+      rs.add(static_cast<uint8_t>(kGpBase + in.src));
+      break;
+    case Op::SAddi:
+    case Op::SSubi:
+    case Op::SShli:
+    case Op::SShri:
+    case Op::SSrai:
+      rs.add(static_cast<uint8_t>(kGpBase + in.dst));
+      break;
+    case Op::SLoad16:
+    case Op::SLoad32:
+    case Op::SLoad64:
+      rs.add(static_cast<uint8_t>(kGpBase + in.base));
+      break;
+    case Op::SStore16:
+    case Op::SStore32:
+    case Op::SStore64:
+      rs.add(static_cast<uint8_t>(kGpBase + in.base));
+      rs.add(static_cast<uint8_t>(kGpBase + in.src));
+      break;
+    case Op::Jnz:
+    case Op::Jz:
+    case Op::Loopnz:
+      rs.add(static_cast<uint8_t>(kGpBase + in.src));
+      break;
+    default:
+      break;
+  }
+  return rs;
+}
+
+RegSet regs_written(const Inst& in) {
+  RegSet rs;
+  const auto& info = isa::op_info(in.op);
+  if (info.is_mmx) {
+    uint8_t reg = 0;
+    if (isa::mmx_writes(in, &reg)) rs.add(reg);
+    if (in.op == Op::MovdFromMmx) {
+      rs.add(static_cast<uint8_t>(kGpBase + in.dst));
+    }
+    return rs;
+  }
+  switch (in.op) {
+    case Op::Li:
+    case Op::SMov:
+    case Op::SAdd:
+    case Op::SAddi:
+    case Op::SSub:
+    case Op::SSubi:
+    case Op::SMul:
+    case Op::SShli:
+    case Op::SShri:
+    case Op::SSrai:
+    case Op::SAnd:
+    case Op::SOr:
+    case Op::SXor:
+    case Op::SLoad16:
+    case Op::SLoad32:
+    case Op::SLoad64:
+      rs.add(static_cast<uint8_t>(kGpBase + in.dst));
+      break;
+    case Op::Loopnz:
+      rs.add(static_cast<uint8_t>(kGpBase + in.src));  // decrements counter
+      break;
+    default:
+      break;
+  }
+  return rs;
+}
+
+bool can_pair(const Inst& u, const Inst& v) {
+  const auto& ui = isa::op_info(u.op);
+  const auto& vi = isa::op_info(v.op);
+
+  // Control ops (nop/halt/emms) issue alone; branches only in V.
+  if (ui.cls == ExecClass::Control || vi.cls == ExecClass::Control) {
+    return false;
+  }
+  if (ui.cls == ExecClass::Branch) return false;
+
+  // Shared-unit conflicts: single multiplier, single shifter.
+  const bool u_mul =
+      ui.cls == ExecClass::MmxMul || ui.cls == ExecClass::ScalarMul;
+  const bool v_mul =
+      vi.cls == ExecClass::MmxMul || vi.cls == ExecClass::ScalarMul;
+  if (u_mul && v_mul) return false;
+  if (ui.cls == ExecClass::MmxShift && vi.cls == ExecClass::MmxShift) {
+    return false;
+  }
+
+  // Memory accesses execute in U only.
+  if (is_mem(vi.cls)) return false;
+
+  // Same destination forbidden; no RAW/WAR between the pair.
+  const RegSet uw = regs_written(u);
+  const RegSet vw = regs_written(v);
+  const RegSet ur = regs_read(u);
+  const RegSet vr = regs_read(v);
+  for (int i = 0; i < vw.count; ++i) {
+    if (uw.contains(vw.ids[i])) return false;  // WAW / same dest
+    if (ur.contains(vw.ids[i])) return false;  // WAR: v writes what u reads
+  }
+  for (int i = 0; i < vr.count; ++i) {
+    if (uw.contains(vr.ids[i])) return false;  // RAW: v reads what u writes
+  }
+  return true;
+}
+
+}  // namespace subword::sim

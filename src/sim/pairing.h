@@ -1,0 +1,42 @@
+// pairing.h — Pentium U/V dual-issue pairing rules for MMX code.
+//
+// From the paper's §2 (and the Kagan et al. MMX micro-architecture paper it
+// cites):
+//  * two MMX instructions can issue per cycle (U and V pipes),
+//  * at most one may be a multiply (single shared multiplier),
+//  * at most one may be a shift/pack/unpack (single shared shifter),
+//  * instructions that access memory execute in the U pipe only,
+//  * the two instructions must not write the same destination,
+//  * no read-after-write or write-after-read dependence may exist between
+//    the paired instructions,
+//  * branches pair only in the V pipe.
+#pragma once
+
+#include "isa/inst.h"
+
+namespace subword::sim {
+
+// Unified register ids for dependence checks: MMX 0..7, GP 8..23.
+inline constexpr int kUnifiedRegs = isa::kNumMmxRegs + isa::kNumGpRegs;
+
+struct RegSet {
+  int count = 0;
+  uint8_t ids[3] = {0, 0, 0};
+
+  void add(uint8_t id) { ids[count++] = id; }
+  [[nodiscard]] bool contains(uint8_t id) const {
+    for (int i = 0; i < count; ++i) {
+      if (ids[i] == id) return true;
+    }
+    return false;
+  }
+};
+
+// Registers read / written by an instruction, in the unified id space.
+[[nodiscard]] RegSet regs_read(const isa::Inst& in);
+[[nodiscard]] RegSet regs_written(const isa::Inst& in);
+
+// True when `v` may issue in the V pipe in the same cycle as `u` in U.
+[[nodiscard]] bool can_pair(const isa::Inst& u, const isa::Inst& v);
+
+}  // namespace subword::sim

@@ -1,0 +1,33 @@
+// regfile.h — architectural register state: 8 MMX registers + 16 scalar GPs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/inst.h"
+#include "swar/vec64.h"
+
+namespace subword::sim {
+
+struct MmxRegFile {
+  std::array<swar::Vec64, isa::kNumMmxRegs> mm{};
+
+  [[nodiscard]] swar::Vec64 read(uint8_t r) const { return mm.at(r); }
+  void write(uint8_t r, swar::Vec64 v) { mm.at(r) = v; }
+
+  // Byte-granular view of the whole file — exactly the address space the
+  // SPU register exposes to the crossbar (byte 0 of MM0 is address 0,
+  // byte 0 of MM1 is address 8, ...).
+  [[nodiscard]] uint8_t byte(int addr) const {
+    return mm.at(static_cast<size_t>(addr / 8)).byte(addr % 8);
+  }
+};
+
+struct GpRegFile {
+  std::array<uint64_t, isa::kNumGpRegs> r{};
+
+  [[nodiscard]] uint64_t read(uint8_t reg) const { return r.at(reg); }
+  void write(uint8_t reg, uint64_t v) { r.at(reg) = v; }
+};
+
+}  // namespace subword::sim

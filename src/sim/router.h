@@ -1,0 +1,37 @@
+// router.h — the hook through which the SPU intercepts operand fetch.
+//
+// The simulator is SPU-agnostic: it exposes this interface and src/core
+// implements it. When no router is installed (or it is inactive), operands
+// come from the architecturally named registers — the machine behaves as a
+// plain Pentium MMX.
+#pragma once
+
+#include "isa/inst.h"
+#include "sim/regfile.h"
+#include "swar/vec64.h"
+
+namespace subword::sim {
+
+enum class Pipe : uint8_t { U = 0, V = 1 };
+
+class OperandRouter {
+ public:
+  virtual ~OperandRouter() = default;
+
+  // Whether routing is currently enabled (GO bit set, not in IDLE state).
+  [[nodiscard]] virtual bool active() const = 0;
+
+  // Called for each MMX data instruction before execution, in program
+  // order. May replace the operand values `a` (first input) and `b`
+  // (second input) with sub-words gathered from the register file.
+  // Returns true if it rerouted anything (for statistics).
+  virtual bool route(const isa::Inst& in, Pipe pipe, const MmxRegFile& regs,
+                     swar::Vec64* a, swar::Vec64* b) = 0;
+
+  // Called after every retired instruction (MMX and scalar), in program
+  // order — this is what keeps the decoupled controller in lock-step with
+  // the instruction stream.
+  virtual void retire(const isa::Inst& in) = 0;
+};
+
+}  // namespace subword::sim

@@ -1,0 +1,69 @@
+// stats.h — execution statistics collected by the machine.
+//
+// These are the quantities the paper extracted with VTune (§5.2.1):
+// instruction-category counts, branch/mispredict counts, cycles, and the
+// fraction of cycles the MMX engine is busy (the hashed bars of Figure 9).
+#pragma once
+
+#include <cstdint>
+
+namespace subword::sim {
+
+struct RunStats {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+
+  uint64_t mmx_instructions = 0;   // all ops executing in the MMX pipes
+  uint64_t mmx_compute = 0;        // MMX arithmetic/logic/compare/shift
+  uint64_t mmx_permutation = 0;    // pack/unpack/reg-reg moves (alignment)
+  uint64_t mmx_memory = 0;         // movq/movd to or from memory
+
+  uint64_t scalar_instructions = 0;
+  uint64_t branches = 0;
+  uint64_t branch_mispredicts = 0;
+
+  uint64_t mmx_busy_cycles = 0;    // cycles with >=1 MMX instruction issued
+  uint64_t dual_issue_cycles = 0;  // cycles issuing in both U and V
+  uint64_t issue_cycles = 0;       // cycles issuing at least one instruction
+  uint64_t stall_cycles = 0;       // cycles blocked on operands/mispredict
+
+  uint64_t spu_routed_ops = 0;     // MMX ops whose operands came via the SPU
+  uint64_t spu_mmio_stores = 0;    // stores that hit the SPU control window
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  [[nodiscard]] double mmx_busy_fraction() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(mmx_busy_cycles) /
+                             static_cast<double>(cycles);
+  }
+  [[nodiscard]] double mispredict_rate() const {
+    return branches == 0 ? 0.0
+                         : static_cast<double>(branch_mispredicts) /
+                               static_cast<double>(branches);
+  }
+
+  RunStats& operator+=(const RunStats& o) {
+    cycles += o.cycles;
+    instructions += o.instructions;
+    mmx_instructions += o.mmx_instructions;
+    mmx_compute += o.mmx_compute;
+    mmx_permutation += o.mmx_permutation;
+    mmx_memory += o.mmx_memory;
+    scalar_instructions += o.scalar_instructions;
+    branches += o.branches;
+    branch_mispredicts += o.branch_mispredicts;
+    mmx_busy_cycles += o.mmx_busy_cycles;
+    dual_issue_cycles += o.dual_issue_cycles;
+    issue_cycles += o.issue_cycles;
+    stall_cycles += o.stall_cycles;
+    spu_routed_ops += o.spu_routed_ops;
+    spu_mmio_stores += o.spu_mmio_stores;
+    return *this;
+  }
+};
+
+}  // namespace subword::sim

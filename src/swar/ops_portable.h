@@ -1,0 +1,265 @@
+// ops_portable.h — portable SWAR backend.
+//
+// Implements the semantics of every MMX data operation on Vec64 without
+// intrinsics. Wrapping add/sub use the classic carry-chain-masking bit
+// tricks — the software analogue of the hardware description in the paper
+// ("adders ... need to have their carry chains optionally broken at
+// sub-word boundaries"). Saturating, multiply, pack/unpack, compare and
+// shift operations use per-lane loops that the optimizer vectorizes.
+//
+// Lane semantics follow the Intel SDM definitions for the MMX instruction
+// set (PADD*, PSUB*, PMULLW, PMULHW, PMADDWD, PACK*, PUNPCK*, PCMP*,
+// PAND/PANDN/POR/PXOR, PSLL/PSRL/PSRA). The SSE2 backend in ops_sse2.h is
+// the cross-check.
+#pragma once
+
+#include <cstdint>
+
+#include "swar/saturate.h"
+#include "swar/vec64.h"
+
+namespace subword::swar::portable {
+
+// ---------------------------------------------------------------------------
+// Wrapping add/sub (PADDB/W/D, PSUBB/W/D and the Q forms).
+//
+// add: split each lane into (low bits, MSB). Low bits are added with the
+// lane MSB positions masked out so no carry crosses a lane boundary; the
+// MSBs are then fixed up with XOR (addition without carry-in at the MSB is
+// a ^ b, and the carry *into* the MSB is already present in `low`).
+// ---------------------------------------------------------------------------
+template <typename T>
+[[nodiscard]] constexpr Vec64 add(Vec64 a, Vec64 b) {
+  constexpr uint64_t kHi = LaneTraits<T>::high_bits();
+  const uint64_t low = (a.bits() & ~kHi) + (b.bits() & ~kHi);
+  return Vec64{low ^ ((a.bits() ^ b.bits()) & kHi)};
+}
+
+// sub: bias every lane of `a` with its MSB set so the borrow never leaves
+// the lane, then repair the MSBs: the true MSB of a - b is
+// a_msb ^ b_msb ^ borrow_in, and `low` holds NOT(borrow_out) in the MSB
+// position after the biased subtract.
+template <typename T>
+[[nodiscard]] constexpr Vec64 sub(Vec64 a, Vec64 b) {
+  constexpr uint64_t kHi = LaneTraits<T>::high_bits();
+  const uint64_t low = (a.bits() | kHi) - (b.bits() & ~kHi);
+  return Vec64{low ^ ((a.bits() ^ ~b.bits()) & kHi)};
+}
+
+// ---------------------------------------------------------------------------
+// Saturating add/sub (PADDS*, PADDUS*, PSUBS*, PSUBUS*). T is the lane type
+// whose numeric limits define the clamp bounds: int8_t for PADDSB,
+// uint16_t for PADDUSW, etc.
+// ---------------------------------------------------------------------------
+template <typename T>
+[[nodiscard]] constexpr Vec64 add_sat(Vec64 a, Vec64 b) {
+  Vec64 r;
+  for (int i = 0; i < LaneTraits<T>::kCount; ++i) {
+    r.set_lane<T>(i, saturate<T, int64_t>(static_cast<int64_t>(a.lane<T>(i)) +
+                                          static_cast<int64_t>(b.lane<T>(i))));
+  }
+  return r;
+}
+
+template <typename T>
+[[nodiscard]] constexpr Vec64 sub_sat(Vec64 a, Vec64 b) {
+  Vec64 r;
+  for (int i = 0; i < LaneTraits<T>::kCount; ++i) {
+    r.set_lane<T>(i, saturate<T, int64_t>(static_cast<int64_t>(a.lane<T>(i)) -
+                                          static_cast<int64_t>(b.lane<T>(i))));
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Multiplies.
+// ---------------------------------------------------------------------------
+
+// PMULLW: low 16 bits of the 16x16 product (identical for signed/unsigned).
+[[nodiscard]] constexpr Vec64 mullo16(Vec64 a, Vec64 b) {
+  Vec64 r;
+  for (int i = 0; i < 4; ++i) {
+    const int32_t p = static_cast<int32_t>(a.lane<int16_t>(i)) *
+                      static_cast<int32_t>(b.lane<int16_t>(i));
+    r.set_lane<uint16_t>(i, static_cast<uint16_t>(p & 0xFFFF));
+  }
+  return r;
+}
+
+// PMULHW: high 16 bits of the signed 16x16 product.
+[[nodiscard]] constexpr Vec64 mulhi16(Vec64 a, Vec64 b) {
+  Vec64 r;
+  for (int i = 0; i < 4; ++i) {
+    const int32_t p = static_cast<int32_t>(a.lane<int16_t>(i)) *
+                      static_cast<int32_t>(b.lane<int16_t>(i));
+    r.set_lane<uint16_t>(i, static_cast<uint16_t>((p >> 16) & 0xFFFF));
+  }
+  return r;
+}
+
+// PMADDWD: per 32-bit group, a0*b0 + a1*b1 of the two signed words, with
+// wrap-around 32-bit addition (the only overflow case is
+// (-32768 * -32768) * 2 which yields 0x80000000, as on hardware).
+[[nodiscard]] constexpr Vec64 maddwd(Vec64 a, Vec64 b) {
+  Vec64 r;
+  for (int i = 0; i < 2; ++i) {
+    const int32_t p0 = static_cast<int32_t>(a.lane<int16_t>(2 * i)) *
+                       static_cast<int32_t>(b.lane<int16_t>(2 * i));
+    const int32_t p1 = static_cast<int32_t>(a.lane<int16_t>(2 * i + 1)) *
+                       static_cast<int32_t>(b.lane<int16_t>(2 * i + 1));
+    const uint32_t sum =
+        static_cast<uint32_t>(p0) + static_cast<uint32_t>(p1);
+    r.set_lane<uint32_t>(i, sum);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Compares (all-ones on true, zero on false).
+// ---------------------------------------------------------------------------
+template <typename T>
+[[nodiscard]] constexpr Vec64 cmpeq(Vec64 a, Vec64 b) {
+  Vec64 r;
+  using U = typename LaneTraits<T>::Unsigned;
+  for (int i = 0; i < LaneTraits<T>::kCount; ++i) {
+    r.set_lane<U>(i, a.lane<T>(i) == b.lane<T>(i) ? static_cast<U>(~U{0})
+                                                  : U{0});
+  }
+  return r;
+}
+
+template <typename T>
+[[nodiscard]] constexpr Vec64 cmpgt(Vec64 a, Vec64 b) {
+  Vec64 r;
+  using S = typename LaneTraits<T>::Signed;
+  using U = typename LaneTraits<T>::Unsigned;
+  for (int i = 0; i < LaneTraits<T>::kCount; ++i) {
+    r.set_lane<U>(i, a.lane<S>(i) > b.lane<S>(i) ? static_cast<U>(~U{0})
+                                                 : U{0});
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Logical.
+// ---------------------------------------------------------------------------
+[[nodiscard]] constexpr Vec64 and_(Vec64 a, Vec64 b) {
+  return Vec64{a.bits() & b.bits()};
+}
+// PANDN: NOT(dst) AND src.
+[[nodiscard]] constexpr Vec64 andn(Vec64 a, Vec64 b) {
+  return Vec64{~a.bits() & b.bits()};
+}
+[[nodiscard]] constexpr Vec64 or_(Vec64 a, Vec64 b) {
+  return Vec64{a.bits() | b.bits()};
+}
+[[nodiscard]] constexpr Vec64 xor_(Vec64 a, Vec64 b) {
+  return Vec64{a.bits() ^ b.bits()};
+}
+
+// ---------------------------------------------------------------------------
+// Shifts. `count` is the full 64-bit shift count (MMX reads it from either
+// an immediate or a whole register). Logical shifts with count >= lane width
+// produce zero; arithmetic right shift saturates the count at width-1
+// (sign fill), both per the SDM.
+// ---------------------------------------------------------------------------
+template <typename T>
+[[nodiscard]] constexpr Vec64 shl(Vec64 a, uint64_t count) {
+  using U = typename LaneTraits<T>::Unsigned;
+  Vec64 r;
+  if (count >= static_cast<uint64_t>(LaneTraits<T>::kBits)) return r;
+  for (int i = 0; i < LaneTraits<T>::kCount; ++i) {
+    r.set_lane<U>(i, static_cast<U>(a.lane<U>(i) << count));
+  }
+  return r;
+}
+
+template <typename T>
+[[nodiscard]] constexpr Vec64 shr_logical(Vec64 a, uint64_t count) {
+  using U = typename LaneTraits<T>::Unsigned;
+  Vec64 r;
+  if (count >= static_cast<uint64_t>(LaneTraits<T>::kBits)) return r;
+  for (int i = 0; i < LaneTraits<T>::kCount; ++i) {
+    r.set_lane<U>(i, static_cast<U>(a.lane<U>(i) >> count));
+  }
+  return r;
+}
+
+template <typename T>
+[[nodiscard]] constexpr Vec64 shr_arith(Vec64 a, uint64_t count) {
+  using S = typename LaneTraits<T>::Signed;
+  const uint64_t c =
+      count >= static_cast<uint64_t>(LaneTraits<T>::kBits)
+          ? static_cast<uint64_t>(LaneTraits<T>::kBits - 1)
+          : count;
+  Vec64 r;
+  for (int i = 0; i < LaneTraits<T>::kCount; ++i) {
+    r.set_lane<S>(i, static_cast<S>(a.lane<S>(i) >> c));
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Pack with saturation. Low half of the result comes from `a` (the
+// destination register on MMX), high half from `b` (the source).
+// ---------------------------------------------------------------------------
+
+// PACKSSWB: 4+4 signed words -> 8 signed-saturated bytes.
+[[nodiscard]] constexpr Vec64 pack_sswb(Vec64 a, Vec64 b) {
+  Vec64 r;
+  for (int i = 0; i < 4; ++i) {
+    r.set_lane<int8_t>(i, saturate<int8_t, int32_t>(a.lane<int16_t>(i)));
+    r.set_lane<int8_t>(i + 4, saturate<int8_t, int32_t>(b.lane<int16_t>(i)));
+  }
+  return r;
+}
+
+// PACKSSDW: 2+2 signed dwords -> 4 signed-saturated words.
+[[nodiscard]] constexpr Vec64 pack_ssdw(Vec64 a, Vec64 b) {
+  Vec64 r;
+  for (int i = 0; i < 2; ++i) {
+    r.set_lane<int16_t>(i, saturate<int16_t, int64_t>(a.lane<int32_t>(i)));
+    r.set_lane<int16_t>(i + 2, saturate<int16_t, int64_t>(b.lane<int32_t>(i)));
+  }
+  return r;
+}
+
+// PACKUSWB: 4+4 signed words -> 8 unsigned-saturated bytes.
+[[nodiscard]] constexpr Vec64 pack_uswb(Vec64 a, Vec64 b) {
+  Vec64 r;
+  for (int i = 0; i < 4; ++i) {
+    r.set_lane<uint8_t>(i, saturate<uint8_t, int32_t>(a.lane<int16_t>(i)));
+    r.set_lane<uint8_t>(i + 4, saturate<uint8_t, int32_t>(b.lane<int16_t>(i)));
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Unpack/interleave. "low" interleaves the low halves of the two registers,
+// "high" the high halves; destination lane 0 comes from `a`.
+// ---------------------------------------------------------------------------
+template <typename T>
+[[nodiscard]] constexpr Vec64 unpack_lo(Vec64 a, Vec64 b) {
+  using U = typename LaneTraits<T>::Unsigned;
+  constexpr int kHalf = LaneTraits<T>::kCount / 2;
+  Vec64 r;
+  for (int i = 0; i < kHalf; ++i) {
+    r.set_lane<U>(2 * i, a.lane<U>(i));
+    r.set_lane<U>(2 * i + 1, b.lane<U>(i));
+  }
+  return r;
+}
+
+template <typename T>
+[[nodiscard]] constexpr Vec64 unpack_hi(Vec64 a, Vec64 b) {
+  using U = typename LaneTraits<T>::Unsigned;
+  constexpr int kHalf = LaneTraits<T>::kCount / 2;
+  Vec64 r;
+  for (int i = 0; i < kHalf; ++i) {
+    r.set_lane<U>(2 * i, a.lane<U>(kHalf + i));
+    r.set_lane<U>(2 * i + 1, b.lane<U>(kHalf + i));
+  }
+  return r;
+}
+
+}  // namespace subword::swar::portable

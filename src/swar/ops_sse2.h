@@ -1,0 +1,228 @@
+// ops_sse2.h — intrinsics SWAR backend.
+//
+// Every MMX data operation expressed through its SSE2 equivalent on the low
+// 64 bits of an __m128i. This backend exists for two reasons: it is the
+// fast path for the simulator's hot loop, and it is an *independent*
+// implementation of the MMX semantics that the property tests drive against
+// the portable backend (a disagreement means one of them mis-reads the SDM).
+//
+// Only compiled on x86-64 (SSE2 is architecturally guaranteed there).
+#pragma once
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstdint>
+
+#include "swar/vec64.h"
+
+namespace subword::swar::sse2 {
+
+inline __m128i load(Vec64 v) {
+  return _mm_cvtsi64_si128(static_cast<int64_t>(v.bits()));
+}
+
+inline Vec64 store(__m128i x) {
+  return Vec64{static_cast<uint64_t>(_mm_cvtsi128_si64(x))};
+}
+
+// -- wrapping add/sub --------------------------------------------------------
+template <typename T>
+Vec64 add(Vec64 a, Vec64 b) {
+  if constexpr (sizeof(T) == 1) {
+    return store(_mm_add_epi8(load(a), load(b)));
+  } else if constexpr (sizeof(T) == 2) {
+    return store(_mm_add_epi16(load(a), load(b)));
+  } else if constexpr (sizeof(T) == 4) {
+    return store(_mm_add_epi32(load(a), load(b)));
+  } else {
+    return store(_mm_add_epi64(load(a), load(b)));
+  }
+}
+
+template <typename T>
+Vec64 sub(Vec64 a, Vec64 b) {
+  if constexpr (sizeof(T) == 1) {
+    return store(_mm_sub_epi8(load(a), load(b)));
+  } else if constexpr (sizeof(T) == 2) {
+    return store(_mm_sub_epi16(load(a), load(b)));
+  } else if constexpr (sizeof(T) == 4) {
+    return store(_mm_sub_epi32(load(a), load(b)));
+  } else {
+    return store(_mm_sub_epi64(load(a), load(b)));
+  }
+}
+
+// -- saturating add/sub ------------------------------------------------------
+template <typename T>
+Vec64 add_sat(Vec64 a, Vec64 b) {
+  if constexpr (std::is_same_v<T, int8_t>) {
+    return store(_mm_adds_epi8(load(a), load(b)));
+  } else if constexpr (std::is_same_v<T, uint8_t>) {
+    return store(_mm_adds_epu8(load(a), load(b)));
+  } else if constexpr (std::is_same_v<T, int16_t>) {
+    return store(_mm_adds_epi16(load(a), load(b)));
+  } else {
+    static_assert(std::is_same_v<T, uint16_t>, "MMX saturates 8/16-bit only");
+    return store(_mm_adds_epu16(load(a), load(b)));
+  }
+}
+
+template <typename T>
+Vec64 sub_sat(Vec64 a, Vec64 b) {
+  if constexpr (std::is_same_v<T, int8_t>) {
+    return store(_mm_subs_epi8(load(a), load(b)));
+  } else if constexpr (std::is_same_v<T, uint8_t>) {
+    return store(_mm_subs_epu8(load(a), load(b)));
+  } else if constexpr (std::is_same_v<T, int16_t>) {
+    return store(_mm_subs_epi16(load(a), load(b)));
+  } else {
+    static_assert(std::is_same_v<T, uint16_t>, "MMX saturates 8/16-bit only");
+    return store(_mm_subs_epu16(load(a), load(b)));
+  }
+}
+
+// -- multiplies --------------------------------------------------------------
+inline Vec64 mullo16(Vec64 a, Vec64 b) {
+  return store(_mm_mullo_epi16(load(a), load(b)));
+}
+inline Vec64 mulhi16(Vec64 a, Vec64 b) {
+  return store(_mm_mulhi_epi16(load(a), load(b)));
+}
+inline Vec64 maddwd(Vec64 a, Vec64 b) {
+  return store(_mm_madd_epi16(load(a), load(b)));
+}
+
+// -- compares ----------------------------------------------------------------
+template <typename T>
+Vec64 cmpeq(Vec64 a, Vec64 b) {
+  if constexpr (sizeof(T) == 1) {
+    return store(_mm_cmpeq_epi8(load(a), load(b)));
+  } else if constexpr (sizeof(T) == 2) {
+    return store(_mm_cmpeq_epi16(load(a), load(b)));
+  } else {
+    static_assert(sizeof(T) == 4, "MMX compares 8/16/32-bit lanes");
+    return store(_mm_cmpeq_epi32(load(a), load(b)));
+  }
+}
+
+template <typename T>
+Vec64 cmpgt(Vec64 a, Vec64 b) {
+  if constexpr (sizeof(T) == 1) {
+    return store(_mm_cmpgt_epi8(load(a), load(b)));
+  } else if constexpr (sizeof(T) == 2) {
+    return store(_mm_cmpgt_epi16(load(a), load(b)));
+  } else {
+    static_assert(sizeof(T) == 4, "MMX compares 8/16/32-bit lanes");
+    return store(_mm_cmpgt_epi32(load(a), load(b)));
+  }
+}
+
+// -- logical -----------------------------------------------------------------
+inline Vec64 and_(Vec64 a, Vec64 b) {
+  return store(_mm_and_si128(load(a), load(b)));
+}
+inline Vec64 andn(Vec64 a, Vec64 b) {
+  return store(_mm_andnot_si128(load(a), load(b)));
+}
+inline Vec64 or_(Vec64 a, Vec64 b) {
+  return store(_mm_or_si128(load(a), load(b)));
+}
+inline Vec64 xor_(Vec64 a, Vec64 b) {
+  return store(_mm_xor_si128(load(a), load(b)));
+}
+
+// -- shifts ------------------------------------------------------------------
+// The _mm_sll/_mm_srl/_mm_sra forms take the count in a vector register and
+// implement exactly the MMX out-of-range behaviour (zero fill / sign fill).
+template <typename T>
+Vec64 shl(Vec64 a, uint64_t count) {
+  const __m128i c = _mm_cvtsi64_si128(static_cast<int64_t>(count));
+  if constexpr (sizeof(T) == 2) {
+    return store(_mm_sll_epi16(load(a), c));
+  } else if constexpr (sizeof(T) == 4) {
+    return store(_mm_sll_epi32(load(a), c));
+  } else {
+    static_assert(sizeof(T) == 8, "MMX shifts 16/32/64-bit lanes");
+    return store(_mm_sll_epi64(load(a), c));
+  }
+}
+
+template <typename T>
+Vec64 shr_logical(Vec64 a, uint64_t count) {
+  const __m128i c = _mm_cvtsi64_si128(static_cast<int64_t>(count));
+  if constexpr (sizeof(T) == 2) {
+    return store(_mm_srl_epi16(load(a), c));
+  } else if constexpr (sizeof(T) == 4) {
+    return store(_mm_srl_epi32(load(a), c));
+  } else {
+    static_assert(sizeof(T) == 8, "MMX shifts 16/32/64-bit lanes");
+    return store(_mm_srl_epi64(load(a), c));
+  }
+}
+
+template <typename T>
+Vec64 shr_arith(Vec64 a, uint64_t count) {
+  const __m128i c = _mm_cvtsi64_si128(static_cast<int64_t>(count));
+  if constexpr (sizeof(T) == 2) {
+    return store(_mm_sra_epi16(load(a), c));
+  } else {
+    static_assert(sizeof(T) == 4, "MMX PSRA supports 16/32-bit lanes");
+    return store(_mm_sra_epi32(load(a), c));
+  }
+}
+
+// -- pack / unpack -----------------------------------------------------------
+// The 128-bit pack instructions pack both qwords of their first operand into
+// the low 8 bytes. Loading [a | b] as one __m128i makes the low 64 bits of
+// the packed result exactly the MMX pack of (a, b).
+inline __m128i load_pair(Vec64 a, Vec64 b) {
+  return _mm_set_epi64x(static_cast<int64_t>(b.bits()),
+                        static_cast<int64_t>(a.bits()));
+}
+
+inline Vec64 pack_sswb(Vec64 a, Vec64 b) {
+  const __m128i v = load_pair(a, b);
+  return store(_mm_packs_epi16(v, v));
+}
+inline Vec64 pack_ssdw(Vec64 a, Vec64 b) {
+  const __m128i v = load_pair(a, b);
+  return store(_mm_packs_epi32(v, v));
+}
+inline Vec64 pack_uswb(Vec64 a, Vec64 b) {
+  const __m128i v = load_pair(a, b);
+  return store(_mm_packus_epi16(v, v));
+}
+
+template <typename T>
+Vec64 unpack_lo(Vec64 a, Vec64 b) {
+  if constexpr (sizeof(T) == 1) {
+    return store(_mm_unpacklo_epi8(load(a), load(b)));
+  } else if constexpr (sizeof(T) == 2) {
+    return store(_mm_unpacklo_epi16(load(a), load(b)));
+  } else {
+    static_assert(sizeof(T) == 4, "MMX unpacks 8/16/32-bit lanes");
+    return store(_mm_unpacklo_epi32(load(a), load(b)));
+  }
+}
+
+// MMX PUNPCKH* reads the *high* 32 bits of each 64-bit register; shift them
+// down first, then interleave as "low".
+template <typename T>
+Vec64 unpack_hi(Vec64 a, Vec64 b) {
+  const __m128i ah = _mm_srli_epi64(load(a), 32);
+  const __m128i bh = _mm_srli_epi64(load(b), 32);
+  if constexpr (sizeof(T) == 1) {
+    return store(_mm_unpacklo_epi8(ah, bh));
+  } else if constexpr (sizeof(T) == 2) {
+    return store(_mm_unpacklo_epi16(ah, bh));
+  } else {
+    static_assert(sizeof(T) == 4, "MMX unpacks 8/16/32-bit lanes");
+    return store(_mm_unpacklo_epi32(ah, bh));
+  }
+}
+
+}  // namespace subword::swar::sse2
+
+#endif  // defined(__SSE2__)

@@ -1,0 +1,33 @@
+// saturate.h — saturation helpers shared by the portable SWAR backend and
+// the golden references. MMX saturating instructions clamp to the natural
+// bounds of the destination lane type instead of wrapping.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace subword::swar {
+
+// Clamp a wide intermediate into the representable range of Narrow.
+template <typename Narrow, typename Wide>
+[[nodiscard]] constexpr Narrow saturate(Wide v) {
+  constexpr Wide lo = static_cast<Wide>(std::numeric_limits<Narrow>::min());
+  constexpr Wide hi = static_cast<Wide>(std::numeric_limits<Narrow>::max());
+  return static_cast<Narrow>(std::clamp(v, lo, hi));
+}
+
+// Signed saturating add/sub on lane type T computed through a wider type.
+template <typename T>
+[[nodiscard]] constexpr T sat_add(T a, T b) {
+  return saturate<T, int64_t>(static_cast<int64_t>(a) +
+                              static_cast<int64_t>(b));
+}
+
+template <typename T>
+[[nodiscard]] constexpr T sat_sub(T a, T b) {
+  return saturate<T, int64_t>(static_cast<int64_t>(a) -
+                              static_cast<int64_t>(b));
+}
+
+}  // namespace subword::swar

@@ -1,0 +1,23 @@
+// swar.h — public entry point of the sub-word arithmetic library.
+//
+// `subword::swar::active` aliases the backend the rest of the system uses:
+// the SSE2 intrinsics backend when available, the portable bit-trick
+// backend otherwise. Both are always compiled where possible so tests can
+// cross-check them lane-for-lane.
+#pragma once
+
+#include "swar/ops_portable.h"
+#include "swar/ops_sse2.h"
+#include "swar/vec64.h"
+
+namespace subword::swar {
+
+#if defined(__SSE2__) && !defined(SUBWORD_FORCE_PORTABLE_SWAR)
+namespace active = sse2;
+inline constexpr bool kUsingIntrinsics = true;
+#else
+namespace active = portable;
+inline constexpr bool kUsingIntrinsics = false;
+#endif
+
+}  // namespace subword::swar

@@ -1,0 +1,118 @@
+// vec64.h — 64-bit packed sub-word vector, the value type of the MMX model.
+//
+// A Vec64 is the contents of one MMX register: 8x8-bit, 4x16-bit, 2x32-bit
+// or 1x64-bit lanes, little-endian lane order (lane 0 is the least
+// significant), exactly as on x86.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace subword::swar {
+
+// Lane type traits: lane count, bit width and masks for each sub-word type.
+template <typename T>
+struct LaneTraits {
+  static_assert(std::is_integral_v<T> && sizeof(T) <= 8,
+                "lanes must be integral and at most 64 bits");
+  static constexpr int kBits = 8 * static_cast<int>(sizeof(T));
+  static constexpr int kCount = 64 / kBits;
+  using Unsigned = std::make_unsigned_t<T>;
+  using Signed = std::make_signed_t<T>;
+
+  // Mask with every lane's MSB set (e.g. 0x8080...80 for 8-bit lanes).
+  static constexpr uint64_t high_bits() {
+    uint64_t m = 0;
+    for (int i = 0; i < kCount; ++i) {
+      m |= (uint64_t{1} << (kBits - 1)) << (i * kBits);
+    }
+    return m;
+  }
+  // Mask for a single lane (e.g. 0xFF for 8-bit lanes).
+  static constexpr uint64_t lane_mask() {
+    return kBits == 64 ? ~uint64_t{0} : ((uint64_t{1} << kBits) - 1);
+  }
+};
+
+// One 64-bit packed register value.
+class Vec64 {
+ public:
+  constexpr Vec64() = default;
+  constexpr explicit Vec64(uint64_t bits) : bits_(bits) {}
+
+  [[nodiscard]] constexpr uint64_t bits() const { return bits_; }
+  constexpr void set_bits(uint64_t b) { bits_ = b; }
+
+  // Lane accessors. T selects the sub-word interpretation.
+  template <typename T>
+  [[nodiscard]] constexpr T lane(int i) const {
+    using LT = LaneTraits<T>;
+    const auto raw = static_cast<typename LT::Unsigned>(
+        (bits_ >> (i * LT::kBits)) & LT::lane_mask());
+    return static_cast<T>(raw);
+  }
+
+  template <typename T>
+  constexpr void set_lane(int i, T value) {
+    using LT = LaneTraits<T>;
+    const uint64_t m = LT::lane_mask() << (i * LT::kBits);
+    const auto raw = static_cast<uint64_t>(
+                         static_cast<typename LT::Unsigned>(value))
+                     << (i * LT::kBits);
+    bits_ = (bits_ & ~m) | (raw & m);
+  }
+
+  // Byte view (byte 0 = least significant), used by the SPU crossbar which
+  // addresses the register file at byte granularity.
+  [[nodiscard]] constexpr uint8_t byte(int i) const { return lane<uint8_t>(i); }
+  constexpr void set_byte(int i, uint8_t v) { set_lane<uint8_t>(i, v); }
+
+  template <typename T>
+  [[nodiscard]] static constexpr Vec64 from_lanes(
+      const std::array<T, LaneTraits<T>::kCount>& lanes) {
+    Vec64 v;
+    for (int i = 0; i < LaneTraits<T>::kCount; ++i) v.set_lane<T>(i, lanes[i]);
+    return v;
+  }
+
+  template <typename T>
+  [[nodiscard]] constexpr std::array<T, LaneTraits<T>::kCount> to_lanes()
+      const {
+    std::array<T, LaneTraits<T>::kCount> out{};
+    for (int i = 0; i < LaneTraits<T>::kCount; ++i) out[i] = lane<T>(i);
+    return out;
+  }
+
+  // Every lane set to `value`.
+  template <typename T>
+  [[nodiscard]] static constexpr Vec64 broadcast(T value) {
+    Vec64 v;
+    for (int i = 0; i < LaneTraits<T>::kCount; ++i) v.set_lane<T>(i, value);
+    return v;
+  }
+
+  friend constexpr bool operator==(Vec64 a, Vec64 b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(Vec64 a, Vec64 b) {
+    return a.bits_ != b.bits_;
+  }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+// Hex rendering for diagnostics ("0123456789abcdef" style, MSB first).
+[[nodiscard]] inline std::string to_hex(Vec64 v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s = "0x";
+  for (int nibble = 15; nibble >= 0; --nibble) {
+    s.push_back(kDigits[(v.bits() >> (nibble * 4)) & 0xF]);
+  }
+  return s;
+}
+
+}  // namespace subword::swar

@@ -1,0 +1,123 @@
+// Crossbar tests: configuration arithmetic (Table 1 / Figure 6 widths),
+// route validity rules, and byte gathering.
+#include <gtest/gtest.h>
+
+#include "core/crossbar.h"
+
+using namespace subword::core;
+using subword::sim::MmxRegFile;
+using subword::sim::Pipe;
+using subword::swar::Vec64;
+
+TEST(CrossbarConfig, Figure6FieldWidths) {
+  // Configuration A: 32 output ports x log2(64) bits = the 192-bit
+  // interconnect field shown in Figure 6.
+  EXPECT_EQ(kConfigA.sel_bits(), 6);
+  EXPECT_EQ(kConfigA.route_field_bits(), 192);
+  // CNTRx(1) + NextState0(7) + NextState1(7) = 15 bits of control.
+  EXPECT_EQ(kConfigA.control_word_bits(), 15 + 192);
+}
+
+TEST(CrossbarConfig, TableOneGeometry) {
+  EXPECT_EQ(kConfigA.input_bytes(), 64);
+  EXPECT_EQ(kConfigA.output_bytes(), 32);
+  EXPECT_EQ(kConfigB.input_bytes(), 32);
+  EXPECT_EQ(kConfigC.input_bytes(), 64);
+  EXPECT_EQ(kConfigC.output_bytes(), 32);
+  EXPECT_EQ(kConfigD.input_bytes(), 32);
+  EXPECT_EQ(kConfigA.crosspoints(), 2048);
+  EXPECT_EQ(kConfigD.crosspoints(), 256);
+}
+
+TEST(Route, DefaultIsStraight) {
+  Route r;
+  EXPECT_TRUE(r.is_straight());
+  EXPECT_FALSE(r.routes_operand(Pipe::U, 0));
+}
+
+TEST(Route, OperandSliceAddressing) {
+  Route r;
+  std::array<uint8_t, 8> srcs{};
+  for (int i = 0; i < 8; ++i) srcs[static_cast<size_t>(i)] = static_cast<uint8_t>(i);
+  r.set_operand(Pipe::V, 1, srcs);
+  EXPECT_FALSE(r.routes_operand(Pipe::U, 0));
+  EXPECT_FALSE(r.routes_operand(Pipe::U, 1));
+  EXPECT_FALSE(r.routes_operand(Pipe::V, 0));
+  EXPECT_TRUE(r.routes_operand(Pipe::V, 1));
+  EXPECT_EQ(r.sel[24], 0);  // V src1 slice starts at byte 24
+}
+
+TEST(RouteValidity, InputWindow) {
+  Route r;
+  std::array<uint8_t, 8> srcs{};
+  srcs.fill(40);  // byte 40 = MM5
+  r.set_operand(Pipe::U, 0, srcs);
+  EXPECT_TRUE(route_valid(r, kConfigA));   // 64-byte window
+  EXPECT_FALSE(route_valid(r, kConfigB));  // 32-byte window
+  EXPECT_FALSE(route_valid(r, kConfigD));
+  EXPECT_NE(route_violation(r, kConfigB).find("input window"),
+            std::string::npos);
+}
+
+TEST(RouteValidity, HalfWordAlignmentFor16BitPorts) {
+  // Odd-byte route: fine at byte granularity, invalid on 16-bit ports.
+  Route r;
+  std::array<uint8_t, 8> srcs{{1, 2, 9, 10, 17, 18, 25, 26}};
+  r.set_operand(Pipe::U, 0, srcs);
+  EXPECT_TRUE(route_valid(r, kConfigA));
+  EXPECT_FALSE(route_valid(r, kConfigC));
+  EXPECT_FALSE(route_valid(r, kConfigD));
+
+  // Aligned half-words pass on all configurations (within window).
+  Route ok;
+  std::array<uint8_t, 8> wsrcs{{0, 1, 8, 9, 16, 17, 24, 25}};
+  ok.set_operand(Pipe::U, 0, wsrcs);
+  EXPECT_TRUE(route_valid(ok, kConfigA));
+  EXPECT_TRUE(route_valid(ok, kConfigC));
+  EXPECT_TRUE(route_valid(ok, kConfigD));
+}
+
+TEST(RouteValidity, MixedRoutedStraightHalfWordRejected) {
+  Route r;
+  r.sel[0] = 4;  // routed low byte, straight high byte of the half-word
+  EXPECT_TRUE(route_valid(r, kConfigA));
+  EXPECT_FALSE(route_valid(r, kConfigD));
+}
+
+TEST(ApplyRoute, GathersBytesAcrossRegisters) {
+  MmxRegFile regs;
+  regs.write(0, Vec64{0x0706050403020100ull});
+  regs.write(1, Vec64{0x1716151413121110ull});
+  regs.write(2, Vec64{0x2726252423222120ull});
+  regs.write(3, Vec64{0x3736353433323130ull});
+
+  // Gather word 1 of MM0..MM3 (the transpose column gather):
+  // bytes [02 03 | 12 13 | 22 23 | 32 33] LSB-first.
+  Route r;
+  std::array<uint8_t, 8> srcs{{2, 3, 10, 11, 18, 19, 26, 27}};
+  r.set_operand(Pipe::U, 1, srcs);
+  const auto out =
+      apply_route(r, Pipe::U, 1, regs, Vec64{0xDEADBEEFDEADBEEFull});
+  EXPECT_EQ(out.bits(), 0x3332232213120302ull);
+}
+
+TEST(ApplyRoute, StraightBytesComeFromFallback) {
+  MmxRegFile regs;
+  regs.write(0, Vec64{0x00000000000000AAull});
+  Route r;
+  r.sel[0] = 0;  // only byte 0 of U src0 routed
+  const auto out = apply_route(r, Pipe::U, 0, regs, Vec64{~0ull});
+  EXPECT_EQ(out.bits(), 0xFFFFFFFFFFFFFFAAull);
+}
+
+TEST(ApplyRoute, ReplicationIsAllowed) {
+  // The crossbar can broadcast one source byte to many outputs.
+  MmxRegFile regs;
+  regs.write(1, Vec64{0x00000000000000BBull});
+  Route r;
+  std::array<uint8_t, 8> srcs{};
+  srcs.fill(8);  // byte 0 of MM1, replicated
+  r.set_operand(Pipe::U, 0, srcs);
+  const auto out = apply_route(r, Pipe::U, 0, regs, Vec64{});
+  EXPECT_EQ(out.bits(), 0xBBBBBBBBBBBBBBBBull);
+}

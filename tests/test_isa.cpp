@@ -1,0 +1,139 @@
+// Tests for the ISA layer: opcode metadata, assembler label handling,
+// instruction classification, read/write set extraction, disassembly.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+#include "isa/opcodes.h"
+
+using namespace subword::isa;
+
+TEST(Opcodes, TableCoversEveryOp) {
+  for (int i = 0; i < kOpCount; ++i) {
+    const auto& info = op_info(static_cast<Op>(i));
+    EXPECT_EQ(info.op, static_cast<Op>(i));
+    EXPECT_FALSE(info.name.empty());
+  }
+}
+
+TEST(Opcodes, ClassificationMatchesPaper) {
+  // Multiplies have 3-cycle latency, everything else MMX is single cycle.
+  EXPECT_EQ(op_info(Op::Pmullw).latency, 3);
+  EXPECT_EQ(op_info(Op::Pmaddwd).latency, 3);
+  EXPECT_EQ(op_info(Op::Paddw).latency, 1);
+  // Pack/unpack/reg-moves are the data-alignment instructions.
+  EXPECT_TRUE(is_permutation_op(Op::Punpckhwd));
+  EXPECT_TRUE(is_permutation_op(Op::Packssdw));
+  EXPECT_TRUE(is_permutation_op(Op::MovqRR));
+  EXPECT_FALSE(is_permutation_op(Op::Paddw));
+  EXPECT_FALSE(is_permutation_op(Op::MovqLoad));
+  // Shift/pack share the single shifter unit.
+  EXPECT_EQ(op_info(Op::Psllw).cls, ExecClass::MmxShift);
+  EXPECT_EQ(op_info(Op::Packsswb).cls, ExecClass::MmxShift);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  Assembler a;
+  a.li(R1, 3);
+  a.label("top");
+  a.jmp("bottom");   // forward reference
+  a.nop();
+  a.label("bottom");
+  a.loopnz(R1, "top");  // backward reference
+  a.halt();
+  const auto p = a.take();
+  EXPECT_EQ(p.at(1).target, 3);  // jmp -> "bottom"
+  EXPECT_EQ(p.at(3).target, 1);  // loopnz -> "top"
+}
+
+TEST(Assembler, UndefinedLabelThrows) {
+  Assembler a;
+  a.jmp("nowhere");
+  EXPECT_THROW((void)a.take(), std::logic_error);
+}
+
+TEST(Assembler, DuplicateLabelThrows) {
+  Assembler a;
+  a.label("x");
+  EXPECT_THROW(a.label("x"), std::logic_error);
+}
+
+TEST(Assembler, RegisterRangeChecked) {
+  Assembler a;
+  EXPECT_THROW(a.paddw(8, 0), std::logic_error);   // MMX regs are 0..7
+  EXPECT_THROW(a.li(16, 0), std::logic_error);     // GP regs are 0..15
+}
+
+TEST(Program, StaticCounts) {
+  Assembler a;
+  a.li(R1, 10);
+  a.label("l");
+  a.movq_load(MM0, R2, 0);
+  a.punpcklwd(MM0, MM1);
+  a.pmaddwd(MM0, MM2);
+  a.loopnz(R1, "l");
+  a.halt();
+  const auto c = a.take().static_counts();
+  EXPECT_EQ(c.total, 6);
+  EXPECT_EQ(c.mmx, 3);
+  EXPECT_EQ(c.permutation, 1);
+  EXPECT_EQ(c.branches, 1);
+}
+
+TEST(MmxReads, ArithmeticReadsBothOperands) {
+  Inst in;
+  in.op = Op::Paddw;
+  in.dst = MM2;
+  in.src = MM5;
+  const auto rs = mmx_reads(in);
+  ASSERT_EQ(rs.count, 2);
+  EXPECT_EQ(rs.regs[0], MM2);
+  EXPECT_EQ(rs.regs[1], MM5);
+}
+
+TEST(MmxReads, LoadReadsNoMmxRegs) {
+  Inst in;
+  in.op = Op::MovqLoad;
+  in.dst = MM2;
+  EXPECT_EQ(mmx_reads(in).count, 0);
+  uint8_t w = 0;
+  EXPECT_TRUE(mmx_writes(in, &w));
+  EXPECT_EQ(w, MM2);
+}
+
+TEST(MmxReads, ShiftImmediateReadsOnlyDst) {
+  Inst in;
+  in.op = Op::Psraw;
+  in.dst = MM3;
+  in.src_is_imm = true;
+  in.imm8 = 4;
+  EXPECT_EQ(mmx_reads(in).count, 1);
+}
+
+TEST(MmxWrites, StoreWritesNothing) {
+  Inst in;
+  in.op = Op::MovqStore;
+  in.src = MM1;
+  uint8_t w = 0;
+  EXPECT_FALSE(mmx_writes(in, &w));
+}
+
+TEST(Disasm, RendersCommonForms) {
+  Assembler a;
+  a.paddw(MM0, MM1);
+  a.movq_load(MM2, R3, 16);
+  a.movq_store(R3, -8, MM4);
+  a.psraw(MM5, 7);
+  a.li(R1, 42);
+  a.label("x");
+  a.loopnz(R1, "x");
+  const auto p = a.take();
+  EXPECT_EQ(disassemble(p.at(0)), "paddw mm0, mm1");
+  EXPECT_EQ(disassemble(p.at(1)), "movq mm2, [r3+16]");
+  EXPECT_EQ(disassemble(p.at(2)), "movq [r3-8], mm4");
+  EXPECT_EQ(disassemble(p.at(3)), "psraw mm5, 7");
+  EXPECT_EQ(disassemble(p.at(4)), "li r1, 42");
+  EXPECT_EQ(disassemble(p.at(5)), "loopnz r1, @5");
+  // Full listing contains the label.
+  EXPECT_NE(disassemble(p).find("x:"), std::string::npos);
+}

@@ -1,0 +1,132 @@
+// Structural regression tests for the kernel programs.
+//
+// The Figure 9 / Table 3 reproduction rests on the *shape* of the kernel
+// code: how much of the baseline is permutation work and how much of it
+// the SPU variant deletes. These tests lock the static structure so an
+// innocent-looking kernel edit cannot silently change the experiments.
+#include <gtest/gtest.h>
+
+#include "core/crossbar.h"
+#include "kernels/registry.h"
+#include "sim/pairing.h"
+
+using namespace subword;
+using kernels::all_kernels;
+using kernels::make_kernel;
+
+namespace {
+
+struct Shape {
+  const char* name;
+  int base_total, base_mmx, base_perm, base_branches;
+  int spu_total, spu_mmx, spu_perm;
+};
+
+// Static instruction counts at repeats=1 (SPU totals include the MMIO
+// programming prologue; SPU permutation counts include only PACKs that
+// must stay because they saturate).
+constexpr Shape kShapes[] = {
+    {"FIR12", 36, 26, 4, 2, 105, 23, 1},
+    {"FIR22", 69, 59, 9, 2, 209, 53, 3},
+    {"IIR", 48, 14, 3, 2, 128, 12, 1},
+    {"FFT1024", 350, 185, 51, 23, 508, 151, 18},
+    {"FFT128", 251, 128, 36, 17, 400, 103, 12},
+    {"DCT", 214, 172, 52, 8, 436, 132, 12},
+    {"Matrix Multiply", 51, 38, 5, 3, 176, 33, 0},
+    {"Matrix Transpose", 33, 20, 12, 3, 97, 12, 4},
+};
+
+}  // namespace
+
+TEST(KernelStructure, StaticCountsAreLocked) {
+  for (const auto& s : kShapes) {
+    const auto k = make_kernel(s.name);
+    const auto base = k->build_mmx(1).static_counts();
+    EXPECT_EQ(base.total, s.base_total) << s.name;
+    EXPECT_EQ(base.mmx, s.base_mmx) << s.name;
+    EXPECT_EQ(base.permutation, s.base_perm) << s.name;
+    EXPECT_EQ(base.branches, s.base_branches) << s.name;
+
+    const auto spu_prog = k->build_spu(core::kConfigA, 1);
+    ASSERT_TRUE(spu_prog.has_value()) << s.name;
+    const auto spu = spu_prog->static_counts();
+    EXPECT_EQ(spu.total, s.spu_total) << s.name;
+    EXPECT_EQ(spu.mmx, s.spu_mmx) << s.name;
+    EXPECT_EQ(spu.permutation, s.spu_perm) << s.name;
+  }
+}
+
+TEST(KernelStructure, SpuVariantAlwaysRemovesPermutations) {
+  for (const auto& k : all_kernels()) {
+    const auto base = k->build_mmx(1).static_counts();
+    const auto spu = k->build_spu(core::kConfigA, 1)->static_counts();
+    EXPECT_LT(spu.permutation, base.permutation) << k->name();
+    // MMX instruction count shrinks too — the SPU deletes, it never adds
+    // MMX work.
+    EXPECT_LT(spu.mmx, base.mmx) << k->name();
+  }
+}
+
+TEST(KernelStructure, TransposeMatchesPaperArithmetic) {
+  // Figure 3's claim: 12 permutation instructions (8 merges + 4 copies)
+  // per 4x4 block on the MMX, 4 gathers with the SPU.
+  const auto k = make_kernel("Matrix Transpose");
+  const auto base = k->build_mmx(1).static_counts();
+  EXPECT_EQ(base.permutation, 12);
+  // SPU variant keeps only the 4 MOVQ gathers (counted as permutation
+  // class — they are register moves — but now carrying routed operands).
+  const auto spu = k->build_spu(core::kConfigA, 1)->static_counts();
+  EXPECT_EQ(spu.permutation, 4);
+}
+
+TEST(KernelStructure, MatMulBroadcastsFullyAbsorbed) {
+  // Every alignment instruction of the broadcast matmul disappears into
+  // crossbar replication routes (Table 3's 100% off-load row).
+  const auto k = make_kernel("Matrix Multiply");
+  const auto spu = k->build_spu(core::kConfigA, 1)->static_counts();
+  EXPECT_EQ(spu.permutation, 0);
+}
+
+TEST(KernelStructure, SaturatingPacksAreNeverRemoved) {
+  // PACKSSDW/PACKSSWB saturate — they are not pure permutations and must
+  // survive in every SPU variant that uses them.
+  for (const char* name : {"FIR12", "FIR22", "IIR", "FFT128", "DCT"}) {
+    const auto k = make_kernel(name);
+    const auto spu = k->build_spu(core::kConfigA, 1);
+    int packs = 0;
+    for (const auto& in : spu->insts()) {
+      if (in.op == isa::Op::Packssdw || in.op == isa::Op::Packsswb ||
+          in.op == isa::Op::Packuswb) {
+        ++packs;
+      }
+    }
+    EXPECT_GT(packs, 0) << name;
+  }
+}
+
+TEST(KernelStructure, RepeatsScaleOnlyTheLoopCount) {
+  // build(N) differs from build(1) only in the repeat-counter immediate —
+  // the static structure is repeat-invariant.
+  for (const auto& k : all_kernels()) {
+    const auto a = k->build_mmx(1).static_counts();
+    const auto b = k->build_mmx(7).static_counts();
+    EXPECT_EQ(a.total, b.total) << k->name();
+    EXPECT_EQ(a.permutation, b.permutation) << k->name();
+  }
+}
+
+TEST(KernelStructure, BaselinesNeverTouchTheSpuWindow) {
+  // "Optimized without knowledge of an existing SPU" (§5.2.1): baseline
+  // programs must not reference the reserved setup registers.
+  for (const auto& k : all_kernels()) {
+    const auto prog = k->build_mmx(2);
+    for (const auto& in : prog.insts()) {
+      const auto rd = sim::regs_read(in);
+      const auto wr = sim::regs_written(in);
+      const auto r14 = static_cast<uint8_t>(isa::kNumMmxRegs + isa::R14);
+      const auto r15 = static_cast<uint8_t>(isa::kNumMmxRegs + isa::R15);
+      EXPECT_FALSE(rd.contains(r14) || wr.contains(r14)) << k->name();
+      EXPECT_FALSE(rd.contains(r15) || wr.contains(r15)) << k->name();
+    }
+  }
+}

@@ -1,0 +1,98 @@
+// Baseline kernel tests: every MMX kernel must verify bit-exactly against
+// its scalar reference, across repeat counts, and report sane statistics.
+#include <gtest/gtest.h>
+
+#include "kernels/registry.h"
+#include "kernels/runner.h"
+
+using namespace subword::kernels;
+
+namespace {
+
+std::vector<std::string> kernel_names() {
+  std::vector<std::string> names;
+  for (const auto& k : all_kernels()) names.push_back(k->name());
+  return names;
+}
+
+}  // namespace
+
+class BaselineKernel : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineKernel, VerifiesAgainstReference) {
+  const auto k = make_kernel(GetParam());
+  const auto run = run_baseline(*k, /*repeats=*/1);
+  EXPECT_TRUE(run.verified) << k->name();
+  EXPECT_GT(run.stats.cycles, 0u);
+  EXPECT_GT(run.stats.mmx_instructions, 0u);
+}
+
+TEST_P(BaselineKernel, RepeatsAreIdempotentAndLinear) {
+  const auto k = make_kernel(GetParam());
+  const auto once = run_baseline(*k, 1);
+  const auto thrice = run_baseline(*k, 3);
+  EXPECT_TRUE(thrice.verified) << k->name();
+  // Cycles scale close to linearly with repeats (loop-dominated code).
+  const double ratio = static_cast<double>(thrice.stats.cycles) /
+                       static_cast<double>(once.stats.cycles);
+  EXPECT_GT(ratio, 2.5) << k->name();
+  EXPECT_LT(ratio, 3.5) << k->name();
+}
+
+TEST_P(BaselineKernel, ContainsPermutationWork) {
+  // Every paper kernel suffers some alignment overhead — that is the
+  // premise of the study.
+  const auto k = make_kernel(GetParam());
+  const auto run = run_baseline(*k, 1);
+  EXPECT_GT(run.stats.mmx_permutation, 0u) << k->name();
+}
+
+TEST_P(BaselineKernel, BranchRateIsMediaLike) {
+  // Table 2: media kernels mispredict well under 1% of branches at scale.
+  // Enough repeats to amortize the predictor's cold start — the paper's
+  // runs covered ~1e10 cycles, where warmup is invisible.
+  const auto k = make_kernel(GetParam());
+  const auto run = run_baseline(*k, 60);
+  EXPECT_GT(run.stats.branches, 0u);
+  EXPECT_LT(run.stats.mispredict_rate(), 0.03) << k->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, BaselineKernel,
+                         ::testing::ValuesIn(kernel_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n) {
+                             if (ch == ' ') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Registry, HasPaperSuite) {
+  const auto names = kernel_names();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names[0], "FIR12");
+  EXPECT_EQ(names[1], "FIR22");
+  EXPECT_EQ(names[2], "IIR");
+  EXPECT_EQ(names[3], "FFT1024");
+  EXPECT_EQ(names[4], "FFT128");
+  EXPECT_EQ(names[5], "DCT");
+  EXPECT_EQ(names[6], "Matrix Multiply");
+  EXPECT_EQ(names[7], "Matrix Transpose");
+}
+
+TEST(Registry, UnknownKernelThrows) {
+  EXPECT_THROW((void)make_kernel("NoSuchKernel"), std::out_of_range);
+}
+
+TEST(KernelShape, IirIsScalarBound) {
+  // Figure 9's premise: IIR uses the MMX inefficiently.
+  const auto k = make_kernel("IIR");
+  const auto run = run_baseline(*k, 1);
+  EXPECT_LT(run.stats.mmx_busy_fraction(), 0.55);
+}
+
+TEST(KernelShape, FirIsMmxBound) {
+  const auto k = make_kernel("FIR12");
+  const auto run = run_baseline(*k, 1);
+  EXPECT_GT(run.stats.mmx_busy_fraction(), 0.5);
+}

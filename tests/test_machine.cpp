@@ -1,0 +1,252 @@
+// Machine execution tests: semantics of small programs, cycle accounting,
+// dual-issue, multiply latency, branch penalties, the SPU pipeline stage.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/machine.h"
+
+using namespace subword::isa;
+using subword::sim::Machine;
+using subword::sim::PipelineConfig;
+using subword::swar::Vec64;
+
+namespace {
+
+Machine run(Assembler& a, PipelineConfig cfg = {}) {
+  Machine m(a.take(), 1 << 16, cfg);
+  m.run();
+  return m;
+}
+
+}  // namespace
+
+TEST(Machine, ScalarArithmetic) {
+  Assembler a;
+  a.li(R1, 40);
+  a.li(R2, 2);
+  a.sadd(R1, R2);
+  a.smul(R1, R1);  // 42 * 42
+  a.halt();
+  auto m = run(a);
+  EXPECT_EQ(m.gp().read(R1), 42u * 42u);
+}
+
+TEST(Machine, MmxLoadComputeStore) {
+  Assembler a;
+  a.li(R2, 0x100);
+  a.movq_load(MM0, R2, 0);
+  a.movq_load(MM1, R2, 8);
+  a.paddw(MM0, MM1);
+  a.movq_store(R2, 16, MM0);
+  a.halt();
+  Machine m(a.take(), 1 << 16);
+  m.memory().write64(0x100, 0x0004000300020001ull);
+  m.memory().write64(0x108, 0x0040003000200010ull);
+  m.run();
+  EXPECT_EQ(m.memory().read64(0x110), 0x0044003300220011ull);
+}
+
+TEST(Machine, LoopExecutesExactTripCount) {
+  Assembler a;
+  a.li(R1, 10);
+  a.li(R2, 0);
+  a.label("l");
+  a.saddi(R2, 1);
+  a.loopnz(R1, "l");
+  a.halt();
+  auto m = run(a);
+  EXPECT_EQ(m.gp().read(R2), 10u);
+}
+
+TEST(Machine, JnzAndJz) {
+  Assembler a;
+  a.li(R1, 0);
+  a.jz(R1, "zero");
+  a.li(R3, 111);  // skipped
+  a.label("zero");
+  a.li(R2, 5);
+  a.jnz(R2, "end");
+  a.li(R3, 222);  // skipped
+  a.label("end");
+  a.halt();
+  auto m = run(a);
+  EXPECT_EQ(m.gp().read(R3), 0u);
+}
+
+TEST(Machine, MovdTransfersLow32) {
+  Assembler a;
+  a.li(R1, -2);  // 0xFFFF_FFFF_FFFF_FFFE
+  a.movd_to_mmx(MM0, R1);
+  a.movd_from_mmx(R2, MM0);
+  a.halt();
+  auto m = run(a);
+  EXPECT_EQ(m.mmx().read(MM0).bits(), 0x00000000FFFFFFFEull);
+  EXPECT_EQ(m.gp().read(R2), 0xFFFFFFFEull);  // zero-extended
+}
+
+TEST(Machine, ScalarLoadsSignExtend) {
+  Assembler a;
+  a.li(R2, 0x200);
+  a.ld16(R3, R2, 0);
+  a.ld32(R4, R2, 4);
+  a.halt();
+  Machine m(a.take(), 1 << 16);
+  m.memory().write16(0x200, 0x8000);
+  m.memory().write32(0x204, 0x80000000u);
+  m.run();
+  EXPECT_EQ(static_cast<int64_t>(m.gp().read(R3)), -32768);
+  EXPECT_EQ(static_cast<int64_t>(m.gp().read(R4)), -2147483648LL);
+}
+
+TEST(Machine, DualIssuePairsIndependentOps) {
+  Assembler a;
+  // 4 independent MMX ALU ops -> 2 cycles issue.
+  a.paddw(MM0, MM1);
+  a.psubw(MM2, MM3);
+  a.paddb(MM4, MM5);
+  a.psubb(MM6, MM7);
+  a.halt();
+  auto m = run(a);
+  EXPECT_EQ(m.stats().dual_issue_cycles, 2u);
+}
+
+TEST(Machine, DisablingDualIssueSlowsDown) {
+  auto build = [] {
+    Assembler a;
+    a.paddw(MM0, MM1);
+    a.psubw(MM2, MM3);
+    a.paddb(MM4, MM5);
+    a.psubb(MM6, MM7);
+    a.halt();
+    return a;
+  };
+  auto a1 = build();
+  auto a2 = build();
+  auto fast = run(a1);
+  PipelineConfig scalar_cfg;
+  scalar_cfg.dual_issue = false;
+  auto slow = run(a2, scalar_cfg);
+  EXPECT_LT(fast.stats().cycles, slow.stats().cycles);
+  EXPECT_EQ(slow.stats().dual_issue_cycles, 0u);
+}
+
+TEST(Machine, MultiplyLatencyStallsDependent) {
+  // Dependent chain: pmullw (3 cycles) then paddw reading the result.
+  Assembler a1;
+  a1.pmullw(MM0, MM1);
+  a1.paddw(MM2, MM0);
+  a1.halt();
+  auto dep = run(a1);
+  // Independent pair for comparison.
+  Assembler a2;
+  a2.pmullw(MM0, MM1);
+  a2.paddw(MM2, MM3);
+  a2.halt();
+  auto indep = run(a2);
+  EXPECT_GT(dep.stats().cycles, indep.stats().cycles);
+  EXPECT_GE(dep.stats().stall_cycles, 2u);
+}
+
+TEST(Machine, MispredictPenaltyCharged) {
+  Assembler a;
+  a.li(R1, 50);
+  a.label("l");
+  a.loopnz(R1, "l");  // taken 49x, then exit
+  a.halt();
+  auto m = run(a);
+  EXPECT_GE(m.stats().branches, 50u);
+  // The exit mispredicts; the local-history predictor also pays a cold
+  // start while its per-pattern counters warm (one per history pattern).
+  EXPECT_GE(m.stats().branch_mispredicts, 1u);
+  EXPECT_LE(m.stats().branch_mispredicts, 12u);
+}
+
+TEST(Machine, SpuStageAddsMispredictCost) {
+  auto build = [] {
+    Assembler a;
+    a.li(R1, 8);
+    a.label("l");
+    a.loopnz(R1, "l");
+    a.halt();
+    return a;
+  };
+  auto a1 = build();
+  auto a2 = build();
+  auto base = run(a1);
+  PipelineConfig cfg;
+  cfg.extra_spu_stage = true;
+  auto spu = run(a2, cfg);
+  // Same mispredicts, each one cycle dearer, plus one fill cycle.
+  EXPECT_EQ(base.stats().branch_mispredicts, spu.stats().branch_mispredicts);
+  EXPECT_EQ(spu.stats().cycles,
+            base.stats().cycles + 1 + base.stats().branch_mispredicts);
+}
+
+TEST(Machine, StatsCategoriesAdd) {
+  Assembler a;
+  a.li(R2, 0x100);
+  a.movq_load(MM0, R2, 0);
+  a.punpcklwd(MM0, MM1);
+  a.pmaddwd(MM0, MM2);
+  a.movq_store(R2, 8, MM0);
+  a.halt();
+  auto m = run(a);
+  const auto& s = m.stats();
+  EXPECT_EQ(s.instructions, 6u);
+  EXPECT_EQ(s.mmx_instructions, 4u);
+  EXPECT_EQ(s.mmx_permutation, 1u);
+  EXPECT_EQ(s.mmx_memory, 2u);
+  EXPECT_EQ(s.mmx_compute, 1u);
+  EXPECT_EQ(s.scalar_instructions, 2u);
+  EXPECT_GT(s.mmx_busy_cycles, 0u);
+}
+
+TEST(Machine, RunForInstructionsIsResumable) {
+  Assembler a;
+  a.li(R1, 5);
+  a.li(R2, 0);
+  a.label("l");
+  a.saddi(R2, 1);
+  a.loopnz(R1, "l");
+  a.halt();
+  Machine m(a.take(), 1 << 12);
+  m.run_for_instructions(4);  // li, li, addi, loopnz
+  EXPECT_FALSE(m.halted());
+  const auto mid = m.gp().read(R2);
+  EXPECT_GE(mid, 1u);
+  m.run();
+  EXPECT_TRUE(m.halted());
+  EXPECT_EQ(m.gp().read(R2), 5u);
+}
+
+TEST(Machine, TraceHookSeesEveryInstruction) {
+  Assembler a;
+  a.li(R1, 2);
+  a.label("l");
+  a.nop();
+  a.loopnz(R1, "l");
+  a.halt();
+  Machine m(a.take(), 1 << 12);
+  uint64_t events = 0;
+  m.set_trace([&](const subword::sim::TraceEvent& ev) {
+    ++events;
+    EXPECT_NE(ev.inst, nullptr);
+  });
+  m.run();
+  EXPECT_EQ(events, m.stats().instructions);
+}
+
+TEST(Machine, CycleLimitGuards) {
+  Assembler a;
+  a.label("spin");
+  a.jmp("spin");
+  a.halt();
+  PipelineConfig cfg;
+  cfg.max_cycles = 1000;
+  Machine m(a.take(), 1 << 12, cfg);
+  EXPECT_THROW(m.run(), std::runtime_error);
+}
+
+TEST(Machine, EmptyProgramRejected) {
+  EXPECT_THROW(Machine(subword::isa::Program{}, 64), std::invalid_argument);
+}

@@ -1,0 +1,118 @@
+// U/V pairing rule tests — each rule in the paper's §2 description.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/pairing.h"
+
+using namespace subword::isa;
+using subword::sim::can_pair;
+using subword::sim::regs_read;
+using subword::sim::regs_written;
+
+namespace {
+
+Inst mk(Op op, uint8_t dst = 0, uint8_t src = 0) {
+  Inst in;
+  in.op = op;
+  in.dst = dst;
+  in.src = src;
+  return in;
+}
+
+}  // namespace
+
+TEST(Pairing, IndependentAluOpsPair) {
+  EXPECT_TRUE(can_pair(mk(Op::Paddw, MM0, MM1), mk(Op::Psubw, MM2, MM3)));
+}
+
+TEST(Pairing, TwoMultipliesConflict) {
+  EXPECT_FALSE(can_pair(mk(Op::Pmullw, MM0, MM1), mk(Op::Pmulhw, MM2, MM3)));
+  EXPECT_FALSE(can_pair(mk(Op::Pmaddwd, MM0, MM1), mk(Op::Pmullw, MM2, MM3)));
+  // One multiply + one ALU is fine.
+  EXPECT_TRUE(can_pair(mk(Op::Pmullw, MM0, MM1), mk(Op::Paddw, MM2, MM3)));
+}
+
+TEST(Pairing, TwoShifterOpsConflict) {
+  // Shift + pack/unpack share the single shifter.
+  Inst shl = mk(Op::Psllw, MM0);
+  shl.src_is_imm = true;
+  shl.imm8 = 2;
+  EXPECT_FALSE(can_pair(shl, mk(Op::Punpcklwd, MM2, MM3)));
+  EXPECT_FALSE(
+      can_pair(mk(Op::Packssdw, MM0, MM1), mk(Op::Punpckhdq, MM2, MM3)));
+  EXPECT_TRUE(can_pair(shl, mk(Op::Paddw, MM2, MM3)));
+}
+
+TEST(Pairing, MemoryOnlyInU) {
+  Inst load = mk(Op::MovqLoad, MM0);
+  load.base = R2;
+  // Memory op can lead (U pipe)...
+  EXPECT_TRUE(can_pair(load, mk(Op::Paddw, MM2, MM3)));
+  // ...but not trail (V pipe).
+  EXPECT_FALSE(can_pair(mk(Op::Paddw, MM2, MM3), load));
+  Inst sst = mk(Op::SStore32);
+  sst.base = R2;
+  sst.src = R3;
+  EXPECT_FALSE(can_pair(mk(Op::Paddw, MM2, MM3), sst));
+}
+
+TEST(Pairing, SameDestinationForbidden) {
+  EXPECT_FALSE(can_pair(mk(Op::Paddw, MM0, MM1), mk(Op::Psubw, MM0, MM2)));
+}
+
+TEST(Pairing, RawDependenceForbidden) {
+  // V reads what U writes.
+  EXPECT_FALSE(can_pair(mk(Op::Paddw, MM0, MM1), mk(Op::Psubw, MM2, MM0)));
+}
+
+TEST(Pairing, WarDependenceForbidden) {
+  // V writes what U reads.
+  EXPECT_FALSE(can_pair(mk(Op::Paddw, MM0, MM1), mk(Op::MovqLoad, MM1)));
+}
+
+TEST(Pairing, BranchesOnlyInV) {
+  Inst br = mk(Op::Loopnz);
+  br.src = R1;
+  br.target = 0;
+  EXPECT_FALSE(can_pair(br, mk(Op::Paddw, MM0, MM1)));
+  EXPECT_TRUE(can_pair(mk(Op::Paddw, MM0, MM1), br));
+}
+
+TEST(Pairing, ScalarAndMmxMix) {
+  Inst addi = mk(Op::SAddi, R2);
+  addi.disp = 8;
+  EXPECT_TRUE(can_pair(mk(Op::Paddw, MM0, MM1), addi));
+  EXPECT_TRUE(can_pair(addi, mk(Op::Paddw, MM0, MM1)));
+}
+
+TEST(Pairing, ControlOpsIssueAlone) {
+  EXPECT_FALSE(can_pair(mk(Op::Nop), mk(Op::Nop)));
+  EXPECT_FALSE(can_pair(mk(Op::Paddw, MM0, MM1), mk(Op::Halt)));
+  EXPECT_FALSE(can_pair(mk(Op::Emms), mk(Op::Paddw, MM0, MM1)));
+}
+
+TEST(Pairing, ScalarDependencies) {
+  Inst li = mk(Op::Li, R5);
+  li.disp = 3;
+  Inst use = mk(Op::SAdd, R6, R5);
+  EXPECT_FALSE(can_pair(li, use));  // RAW through R5
+  Inst other = mk(Op::SAdd, R7, R8);
+  EXPECT_TRUE(can_pair(li, other));
+}
+
+TEST(RegSets, UnifiedIdsSeparateMmxAndGp) {
+  Inst store = mk(Op::MovqStore);
+  store.src = MM3;
+  store.base = R2;
+  const auto rs = regs_read(store);
+  EXPECT_TRUE(rs.contains(MM3));                  // MMX id space
+  EXPECT_TRUE(rs.contains(kNumMmxRegs + R2));     // GP id space
+  EXPECT_EQ(regs_written(store).count, 0);
+}
+
+TEST(RegSets, LoopnzReadsAndWritesCounter) {
+  Inst br = mk(Op::Loopnz);
+  br.src = R1;
+  EXPECT_TRUE(regs_read(br).contains(kNumMmxRegs + R1));
+  EXPECT_TRUE(regs_written(br).contains(kNumMmxRegs + R1));
+}

@@ -1,0 +1,108 @@
+// Reporting/formatting tests: number formats, table rendering, speedup
+// summaries — the benches' output layer must be stable and correct.
+#include <gtest/gtest.h>
+
+#include "profile/report.h"
+#include "profile/table.h"
+
+using namespace subword::prof;
+
+TEST(Format, ScientificMatchesPaperStyle) {
+  EXPECT_EQ(sci(1.51e10), "1.51E+10");
+  EXPECT_EQ(sci(2.24e4), "2.24E+04");
+  EXPECT_EQ(sci(0.0), "0.00E+00");
+  EXPECT_EQ(sci(123456.0, 1), "1.2E+05");
+}
+
+TEST(Format, Percentages) {
+  EXPECT_EQ(pct(0.00094), "0.094%");
+  EXPECT_EQ(pct(0.2012, 2), "20.12%");
+  EXPECT_EQ(pct(1.0, 0), "100%");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(8.14), "8.14");
+  EXPECT_EQ(fixed(0.95, 1), "0.9");  // printf rounding-to-even of 0.95
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "long header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide cell", "x", ""});
+  const auto out = t.render();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // All lines the same width (aligned).
+  size_t first_len = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"x", "y"});
+  t.add_row({"only-x"});
+  EXPECT_NE(t.render().find("only-x"), std::string::npos);
+}
+
+TEST(Summarize, SpeedupAndSavings) {
+  subword::sim::RunStats base, spu;
+  base.cycles = 1200;
+  spu.cycles = 1000;
+  base.instructions = 1000;
+  spu.instructions = 900;
+  base.mmx_permutation = 100;
+  spu.mmx_permutation = 25;
+  base.mmx_busy_cycles = 600;
+  spu.mmx_busy_cycles = 550;
+  const auto s = summarize(base, spu);
+  EXPECT_DOUBLE_EQ(s.speedup, 1.2);
+  EXPECT_DOUBLE_EQ(s.cycles_saved, 200.0);
+  EXPECT_DOUBLE_EQ(s.permute_offload, 0.75);
+  EXPECT_DOUBLE_EQ(s.instr_savings, 0.1);
+  EXPECT_DOUBLE_EQ(s.mmx_busy_baseline, 0.5);
+}
+
+TEST(Summarize, DegenerateInputsAreSafe) {
+  subword::sim::RunStats zero;
+  const auto s = summarize(zero, zero);
+  EXPECT_EQ(s.speedup, 0.0);
+  EXPECT_EQ(s.permute_offload, 0.0);
+  EXPECT_EQ(s.instr_savings, 0.0);
+}
+
+TEST(RunReport, ContainsAllCategories) {
+  subword::sim::RunStats st;
+  st.instructions = 100;
+  st.mmx_instructions = 60;
+  st.mmx_compute = 40;
+  st.mmx_permutation = 10;
+  st.mmx_memory = 10;
+  st.scalar_instructions = 40;
+  st.branches = 5;
+  st.branch_mispredicts = 1;
+  st.cycles = 80;
+  st.mmx_busy_cycles = 50;
+  const auto rep = run_report("unit", st);
+  for (const char* key :
+       {"unit", "mmx permutation", "mispredicts", "cycles", "IPC",
+        "MMX busy"}) {
+    EXPECT_NE(rep.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(RunStats, AccumulationOperator) {
+  subword::sim::RunStats a, b;
+  a.cycles = 10;
+  a.instructions = 5;
+  b.cycles = 7;
+  b.instructions = 3;
+  b.spu_routed_ops = 2;
+  a += b;
+  EXPECT_EQ(a.cycles, 17u);
+  EXPECT_EQ(a.instructions, 8u);
+  EXPECT_EQ(a.spu_routed_ops, 2u);
+}

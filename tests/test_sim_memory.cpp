@@ -1,0 +1,107 @@
+// Tests for simulated memory: typed access, bounds, device windows.
+#include <gtest/gtest.h>
+
+#include "sim/memory.h"
+#include "sim/regfile.h"
+#include "swar/vec64.h"
+
+using subword::sim::Device;
+using subword::sim::Memory;
+
+namespace {
+
+class RecordingDevice final : public Device {
+ public:
+  void write32(uint64_t offset, uint32_t value) override {
+    last_write = {offset, value};
+    ++writes;
+  }
+  uint32_t read32(uint64_t offset) override {
+    ++reads;
+    return static_cast<uint32_t>(offset + 7);
+  }
+  std::pair<uint64_t, uint32_t> last_write{};
+  int writes = 0;
+  int reads = 0;
+};
+
+}  // namespace
+
+TEST(Memory, ReadWriteWidths) {
+  Memory m(4096);
+  m.write8(10, 0xAB);
+  EXPECT_EQ(m.read8(10), 0xAB);
+  m.write16(100, 0xBEEF);
+  EXPECT_EQ(m.read16(100), 0xBEEF);
+  m.write32(200, 0xDEADBEEF);
+  EXPECT_EQ(m.read32(200), 0xDEADBEEFu);
+  m.write64(300, 0x0123456789ABCDEFull);
+  EXPECT_EQ(m.read64(300), 0x0123456789ABCDEFull);
+}
+
+TEST(Memory, LittleEndianComposition) {
+  Memory m(64);
+  m.write8(0, 0x11);
+  m.write8(1, 0x22);
+  EXPECT_EQ(m.read16(0), 0x2211);
+}
+
+TEST(Memory, OutOfRangeThrows) {
+  Memory m(64);
+  EXPECT_THROW((void)m.read64(60), std::out_of_range);
+  EXPECT_THROW(m.write8(64, 1), std::out_of_range);
+  EXPECT_THROW((void)m.read8(~0ull), std::out_of_range);
+}
+
+TEST(Memory, SpanRoundTrip) {
+  Memory m(1024);
+  const std::vector<int16_t> v{-1, 2, -3, 4, 32767, -32768};
+  m.write_span<int16_t>(16, v);
+  EXPECT_EQ(m.read_vector<int16_t>(16, v.size()), v);
+}
+
+TEST(Memory, DeviceWindowInterceptsOnly32BitAccess) {
+  Memory m(64);
+  RecordingDevice dev;
+  m.map_device(0xF0000000ull, 0x100, &dev);
+  m.write32(0xF0000010ull, 77);
+  EXPECT_EQ(dev.writes, 1);
+  EXPECT_EQ(dev.last_write.first, 0x10u);
+  EXPECT_EQ(dev.last_write.second, 77u);
+  EXPECT_EQ(m.read32(0xF0000004ull), 4u + 7u);
+  // Accesses outside the window still bounds-check against the arena.
+  EXPECT_THROW(m.write32(0xF0001000ull, 1), std::out_of_range);
+}
+
+TEST(Memory, SecondDeviceRejected) {
+  Memory m(64);
+  RecordingDevice d1, d2;
+  m.map_device(0x1000, 0x10, &d1);
+  EXPECT_THROW(m.map_device(0x2000, 0x10, &d2), std::logic_error);
+}
+
+TEST(Memory, ReadVectorTypedWidths) {
+  Memory m(256);
+  m.write16(0, 0x8000);  // negative as int16
+  m.write16(2, 0x7FFF);
+  const auto v16 = m.read_vector<int16_t>(0, 2);
+  EXPECT_EQ(v16[0], -32768);
+  EXPECT_EQ(v16[1], 32767);
+  m.write32(8, 0xDEADBEEF);
+  EXPECT_EQ(m.read_vector<uint32_t>(8, 1)[0], 0xDEADBEEFu);
+  m.write64(16, 0x0102030405060708ull);
+  EXPECT_EQ(m.read_vector<uint64_t>(16, 1)[0], 0x0102030405060708ull);
+  m.write8(24, 0xAB);
+  EXPECT_EQ(m.read_vector<uint8_t>(24, 1)[0], 0xAB);
+}
+
+TEST(RegFile, ByteViewMatchesSpuAddressing) {
+  // Byte b of MMn is SPU register address 8n+b — the crossbar's address
+  // space (paper Figure 4: the 512x1 SPU register).
+  subword::sim::MmxRegFile regs;
+  regs.write(3, subword::swar::Vec64{0x1122334455667788ull});
+  EXPECT_EQ(regs.byte(3 * 8 + 0), 0x88);
+  EXPECT_EQ(regs.byte(3 * 8 + 7), 0x11);
+  regs.write(0, subword::swar::Vec64{0xFF});
+  EXPECT_EQ(regs.byte(0), 0xFF);
+}

@@ -1,0 +1,225 @@
+// Unit tests for the SWAR library: every MMX data operation against
+// hand-computed Intel SDM examples, plus edge cases (saturation bounds,
+// carry isolation, shift counts >= lane width, PMADDWD's wrap case).
+#include <gtest/gtest.h>
+
+#include "swar/swar.h"
+
+namespace sw = subword::swar;
+namespace port = subword::swar::portable;
+using sw::Vec64;
+
+TEST(Vec64, LaneRoundTrip) {
+  Vec64 v;
+  v.set_lane<uint16_t>(0, 0x1111);
+  v.set_lane<uint16_t>(1, 0x2222);
+  v.set_lane<uint16_t>(2, 0x3333);
+  v.set_lane<uint16_t>(3, 0x4444);
+  EXPECT_EQ(v.bits(), 0x4444333322221111ull);
+  EXPECT_EQ(v.lane<uint16_t>(2), 0x3333);
+  EXPECT_EQ(v.byte(0), 0x11);
+  EXPECT_EQ(v.byte(7), 0x44);
+}
+
+TEST(Vec64, SignedLanes) {
+  Vec64 v;
+  v.set_lane<int16_t>(1, -2);
+  EXPECT_EQ(v.lane<int16_t>(1), -2);
+  EXPECT_EQ(v.lane<uint16_t>(1), 0xFFFE);
+}
+
+TEST(Vec64, BroadcastAndToLanes) {
+  const auto v = Vec64::broadcast<int16_t>(-1);
+  EXPECT_EQ(v.bits(), ~0ull);
+  const auto lanes = v.to_lanes<int16_t>();
+  for (const auto l : lanes) EXPECT_EQ(l, -1);
+}
+
+TEST(Vec64, ToHex) {
+  EXPECT_EQ(sw::to_hex(Vec64{0x0123456789ABCDEFull}), "0x0123456789abcdef");
+}
+
+// --- carry-chain isolation ---------------------------------------------------
+
+TEST(PortableAdd, CarriesDoNotCrossLaneBoundaries) {
+  // 0xFF + 1 in lane 0 must not carry into lane 1 (the hardware breaks the
+  // carry chain at sub-word boundaries).
+  Vec64 a, b;
+  a.set_lane<uint8_t>(0, 0xFF);
+  b.set_lane<uint8_t>(0, 0x01);
+  a.set_lane<uint8_t>(1, 0x10);
+  const auto r = port::add<uint8_t>(a, b);
+  EXPECT_EQ(r.lane<uint8_t>(0), 0x00);
+  EXPECT_EQ(r.lane<uint8_t>(1), 0x10);
+}
+
+TEST(PortableSub, BorrowsDoNotCrossLaneBoundaries) {
+  Vec64 a, b;
+  a.set_lane<uint16_t>(0, 0x0000);
+  b.set_lane<uint16_t>(0, 0x0001);
+  a.set_lane<uint16_t>(1, 0x5555);
+  const auto r = port::sub<uint16_t>(a, b);
+  EXPECT_EQ(r.lane<uint16_t>(0), 0xFFFF);
+  EXPECT_EQ(r.lane<uint16_t>(1), 0x5555);
+}
+
+// --- saturation ---------------------------------------------------------------
+
+TEST(Saturate, SignedAddBounds) {
+  Vec64 a = Vec64::broadcast<int16_t>(32000);
+  Vec64 b = Vec64::broadcast<int16_t>(2000);
+  EXPECT_EQ(port::add_sat<int16_t>(a, b).lane<int16_t>(0), 32767);
+  a = Vec64::broadcast<int16_t>(-32000);
+  b = Vec64::broadcast<int16_t>(-2000);
+  EXPECT_EQ(port::add_sat<int16_t>(a, b).lane<int16_t>(0), -32768);
+}
+
+TEST(Saturate, UnsignedSubClampsAtZero) {
+  const auto a = Vec64::broadcast<uint8_t>(10);
+  const auto b = Vec64::broadcast<uint8_t>(20);
+  EXPECT_EQ(port::sub_sat<uint8_t>(a, b).lane<uint8_t>(0), 0);
+}
+
+TEST(Saturate, UnsignedAddClampsAtMax) {
+  const auto a = Vec64::broadcast<uint16_t>(60000);
+  const auto b = Vec64::broadcast<uint16_t>(60000);
+  EXPECT_EQ(port::add_sat<uint16_t>(a, b).lane<uint16_t>(0), 65535);
+}
+
+// --- multiplies ----------------------------------------------------------------
+
+TEST(Multiply, MulloMulhi) {
+  const auto a = Vec64::broadcast<int16_t>(-3);
+  const auto b = Vec64::broadcast<int16_t>(1000);
+  EXPECT_EQ(port::mullo16(a, b).lane<int16_t>(0),
+            static_cast<int16_t>(-3000));
+  EXPECT_EQ(port::mulhi16(a, b).lane<int16_t>(0), -1);  // -3000 >> 16
+}
+
+TEST(Multiply, MaddwdPairsProducts) {
+  Vec64 a, b;
+  a.set_lane<int16_t>(0, 100);
+  a.set_lane<int16_t>(1, -50);
+  a.set_lane<int16_t>(2, 7);
+  a.set_lane<int16_t>(3, 9);
+  b.set_lane<int16_t>(0, 3);
+  b.set_lane<int16_t>(1, 2);
+  b.set_lane<int16_t>(2, -1);
+  b.set_lane<int16_t>(3, 4);
+  const auto r = port::maddwd(a, b);
+  EXPECT_EQ(r.lane<int32_t>(0), 100 * 3 + (-50) * 2);
+  EXPECT_EQ(r.lane<int32_t>(1), 7 * -1 + 9 * 4);
+}
+
+TEST(Multiply, MaddwdOverflowWrapsLikeHardware) {
+  // (-32768 * -32768) * 2 = 0x80000000 on hardware (the documented wrap).
+  const auto a = Vec64::broadcast<int16_t>(-32768);
+  const auto r = port::maddwd(a, a);
+  EXPECT_EQ(r.lane<uint32_t>(0), 0x80000000u);
+}
+
+// --- compares -------------------------------------------------------------------
+
+TEST(Compare, EqAndGtMasks) {
+  Vec64 a, b;
+  a.set_lane<int16_t>(0, 5);
+  b.set_lane<int16_t>(0, 5);
+  a.set_lane<int16_t>(1, -1);
+  b.set_lane<int16_t>(1, 1);
+  const auto eq = port::cmpeq<uint16_t>(a, b);
+  EXPECT_EQ(eq.lane<uint16_t>(0), 0xFFFF);
+  EXPECT_EQ(eq.lane<uint16_t>(1), 0x0000);
+  const auto gt = port::cmpgt<int16_t>(b, a);
+  EXPECT_EQ(gt.lane<uint16_t>(1), 0xFFFF);  // 1 > -1 signed
+  EXPECT_EQ(gt.lane<uint16_t>(0), 0x0000);
+}
+
+// --- logical ---------------------------------------------------------------------
+
+TEST(Logical, AndnIsNotDstAndSrc) {
+  const Vec64 a{0xF0F0F0F0F0F0F0F0ull};
+  const Vec64 b{0xFFFFFFFFFFFFFFFFull};
+  EXPECT_EQ(port::andn(a, b).bits(), 0x0F0F0F0F0F0F0F0Full);
+}
+
+// --- shifts ----------------------------------------------------------------------
+
+TEST(Shift, PerLaneLogical) {
+  const auto a = Vec64::broadcast<uint16_t>(0x8001);
+  EXPECT_EQ(port::shl<uint16_t>(a, 1).lane<uint16_t>(0), 0x0002);
+  EXPECT_EQ(port::shr_logical<uint16_t>(a, 1).lane<uint16_t>(0), 0x4000);
+}
+
+TEST(Shift, ArithmeticPreservesSign) {
+  const auto a = Vec64::broadcast<int16_t>(-4);
+  EXPECT_EQ(port::shr_arith<int16_t>(a, 1).lane<int16_t>(0), -2);
+}
+
+TEST(Shift, CountAtOrAboveWidth) {
+  const auto a = Vec64::broadcast<uint16_t>(0xFFFF);
+  EXPECT_EQ(port::shl<uint16_t>(a, 16).bits(), 0u);
+  EXPECT_EQ(port::shr_logical<uint16_t>(a, 200).bits(), 0u);
+  // Arithmetic right shift fills with the sign bit instead.
+  const auto s = Vec64::broadcast<int16_t>(-1);
+  EXPECT_EQ(port::shr_arith<int16_t>(s, 16).lane<int16_t>(0), -1);
+  const auto p = Vec64::broadcast<int16_t>(12345);
+  EXPECT_EQ(port::shr_arith<int16_t>(p, 99).lane<int16_t>(0), 0);
+}
+
+// --- pack / unpack ------------------------------------------------------------------
+
+TEST(Pack, SswbSaturatesBothHalves) {
+  Vec64 a, b;
+  a.set_lane<int16_t>(0, 300);    // -> 127
+  a.set_lane<int16_t>(1, -300);   // -> -128
+  a.set_lane<int16_t>(2, 5);
+  a.set_lane<int16_t>(3, -5);
+  b.set_lane<int16_t>(0, 1);
+  b.set_lane<int16_t>(1, 2);
+  b.set_lane<int16_t>(2, 3);
+  b.set_lane<int16_t>(3, 4);
+  const auto r = port::pack_sswb(a, b);
+  EXPECT_EQ(r.lane<int8_t>(0), 127);
+  EXPECT_EQ(r.lane<int8_t>(1), -128);
+  EXPECT_EQ(r.lane<int8_t>(2), 5);
+  EXPECT_EQ(r.lane<int8_t>(3), -5);
+  EXPECT_EQ(r.lane<int8_t>(4), 1);
+  EXPECT_EQ(r.lane<int8_t>(7), 4);
+}
+
+TEST(Pack, UswbClampsNegativeToZero) {
+  Vec64 a;
+  a.set_lane<int16_t>(0, -5);
+  a.set_lane<int16_t>(1, 300);
+  const auto r = port::pack_uswb(a, a);
+  EXPECT_EQ(r.lane<uint8_t>(0), 0);
+  EXPECT_EQ(r.lane<uint8_t>(1), 255);
+}
+
+TEST(Unpack, WordInterleaveMatchesFigure2) {
+  // Paper Figure 2: punpcklwd interleaves the low words of dst and src.
+  Vec64 a, b;  // a = [A0 A1 A2 A3], b = [B0 B1 B2 B3]
+  for (int i = 0; i < 4; ++i) {
+    a.set_lane<uint16_t>(i, static_cast<uint16_t>(0xA0 + i));
+    b.set_lane<uint16_t>(i, static_cast<uint16_t>(0xB0 + i));
+  }
+  const auto lo = port::unpack_lo<uint16_t>(a, b);
+  EXPECT_EQ(lo.lane<uint16_t>(0), 0xA0);
+  EXPECT_EQ(lo.lane<uint16_t>(1), 0xB0);
+  EXPECT_EQ(lo.lane<uint16_t>(2), 0xA1);
+  EXPECT_EQ(lo.lane<uint16_t>(3), 0xB1);
+  const auto hi = port::unpack_hi<uint16_t>(a, b);
+  EXPECT_EQ(hi.lane<uint16_t>(0), 0xA2);
+  EXPECT_EQ(hi.lane<uint16_t>(1), 0xB2);
+  EXPECT_EQ(hi.lane<uint16_t>(2), 0xA3);
+  EXPECT_EQ(hi.lane<uint16_t>(3), 0xB3);
+}
+
+TEST(Unpack, ByteAndDwordForms) {
+  Vec64 a{0x0807060504030201ull};
+  Vec64 b{0xF8F7F6F5F4F3F2F1ull};
+  EXPECT_EQ(port::unpack_lo<uint8_t>(a, b).bits(), 0xF404F303F202F101ull);
+  EXPECT_EQ(port::unpack_hi<uint8_t>(a, b).bits(), 0xF808F707F606F505ull);
+  EXPECT_EQ(port::unpack_lo<uint32_t>(a, b).bits(), 0xF4F3F2F104030201ull);
+  EXPECT_EQ(port::unpack_hi<uint32_t>(a, b).bits(), 0xF8F7F6F508070605ull);
+}

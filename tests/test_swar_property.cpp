@@ -1,0 +1,348 @@
+// Property tests: the portable and SSE2 backends must agree lane-for-lane
+// on random inputs for every operation, and both must match a third,
+// independently written per-lane scalar oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ref/workload.h"
+#include "swar/swar.h"
+
+namespace sw = subword::swar;
+namespace port = subword::swar::portable;
+using subword::ref::Rng;
+using sw::Vec64;
+
+namespace {
+
+// Scalar oracle helpers (written independently of both backends).
+template <typename T, typename F>
+Vec64 lanewise(Vec64 a, Vec64 b, F&& f) {
+  Vec64 r;
+  for (int i = 0; i < sw::LaneTraits<T>::kCount; ++i) {
+    r.set_lane<T>(i, f(a.lane<T>(i), b.lane<T>(i)));
+  }
+  return r;
+}
+
+struct BinOpCase {
+  std::string name;
+  std::function<Vec64(Vec64, Vec64)> portable_fn;
+  std::function<Vec64(Vec64, Vec64)> sse2_fn;
+  std::function<Vec64(Vec64, Vec64)> oracle;
+};
+
+template <typename T>
+T oracle_sat_add(T a, T b) {
+  const int64_t s = static_cast<int64_t>(a) + static_cast<int64_t>(b);
+  if (s > std::numeric_limits<T>::max()) return std::numeric_limits<T>::max();
+  if (s < std::numeric_limits<T>::min()) return std::numeric_limits<T>::min();
+  return static_cast<T>(s);
+}
+
+template <typename T>
+T oracle_sat_sub(T a, T b) {
+  const int64_t s = static_cast<int64_t>(a) - static_cast<int64_t>(b);
+  if (s > std::numeric_limits<T>::max()) return std::numeric_limits<T>::max();
+  if (s < std::numeric_limits<T>::min()) return std::numeric_limits<T>::min();
+  return static_cast<T>(s);
+}
+
+std::vector<BinOpCase> binop_cases() {
+  std::vector<BinOpCase> cases;
+  auto add_case = [&](std::string name, auto pfn, auto sfn, auto ofn) {
+    cases.push_back({std::move(name), pfn, sfn, ofn});
+  };
+
+  add_case("paddb", port::add<uint8_t>, sw::sse2::add<uint8_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint8_t>(a, b, [](uint8_t x, uint8_t y) {
+               return static_cast<uint8_t>(x + y);
+             });
+           });
+  add_case("paddw", port::add<uint16_t>, sw::sse2::add<uint16_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint16_t>(a, b, [](uint16_t x, uint16_t y) {
+               return static_cast<uint16_t>(x + y);
+             });
+           });
+  add_case("paddd", port::add<uint32_t>, sw::sse2::add<uint32_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint32_t>(a, b, [](uint32_t x, uint32_t y) {
+               return static_cast<uint32_t>(x + y);
+             });
+           });
+  add_case("psubb", port::sub<uint8_t>, sw::sse2::sub<uint8_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint8_t>(a, b, [](uint8_t x, uint8_t y) {
+               return static_cast<uint8_t>(x - y);
+             });
+           });
+  add_case("psubw", port::sub<uint16_t>, sw::sse2::sub<uint16_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint16_t>(a, b, [](uint16_t x, uint16_t y) {
+               return static_cast<uint16_t>(x - y);
+             });
+           });
+  add_case("psubd", port::sub<uint32_t>, sw::sse2::sub<uint32_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint32_t>(a, b, [](uint32_t x, uint32_t y) {
+               return static_cast<uint32_t>(x - y);
+             });
+           });
+
+  add_case("paddsb", port::add_sat<int8_t>, sw::sse2::add_sat<int8_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<int8_t>(a, b, oracle_sat_add<int8_t>);
+           });
+  add_case("paddsw", port::add_sat<int16_t>, sw::sse2::add_sat<int16_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<int16_t>(a, b, oracle_sat_add<int16_t>);
+           });
+  add_case("paddusb", port::add_sat<uint8_t>, sw::sse2::add_sat<uint8_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint8_t>(a, b, oracle_sat_add<uint8_t>);
+           });
+  add_case("paddusw", port::add_sat<uint16_t>, sw::sse2::add_sat<uint16_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint16_t>(a, b, oracle_sat_add<uint16_t>);
+           });
+  add_case("psubsb", port::sub_sat<int8_t>, sw::sse2::sub_sat<int8_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<int8_t>(a, b, oracle_sat_sub<int8_t>);
+           });
+  add_case("psubsw", port::sub_sat<int16_t>, sw::sse2::sub_sat<int16_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<int16_t>(a, b, oracle_sat_sub<int16_t>);
+           });
+  add_case("psubusb", port::sub_sat<uint8_t>, sw::sse2::sub_sat<uint8_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint8_t>(a, b, oracle_sat_sub<uint8_t>);
+           });
+  add_case("psubusw", port::sub_sat<uint16_t>, sw::sse2::sub_sat<uint16_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint16_t>(a, b, oracle_sat_sub<uint16_t>);
+           });
+
+  add_case("pmullw", port::mullo16, sw::sse2::mullo16,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint16_t>(a, b, [](uint16_t x, uint16_t y) {
+               const int32_t p = static_cast<int16_t>(x) *
+                                 static_cast<int16_t>(y);
+               return static_cast<uint16_t>(p & 0xFFFF);
+             });
+           });
+  add_case("pmulhw", port::mulhi16, sw::sse2::mulhi16,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint16_t>(a, b, [](uint16_t x, uint16_t y) {
+               const int32_t p = static_cast<int16_t>(x) *
+                                 static_cast<int16_t>(y);
+               return static_cast<uint16_t>((p >> 16) & 0xFFFF);
+             });
+           });
+  add_case("pmaddwd", port::maddwd, sw::sse2::maddwd,
+           [](Vec64 a, Vec64 b) {
+             Vec64 r;
+             for (int i = 0; i < 2; ++i) {
+               const int32_t p0 = a.lane<int16_t>(2 * i) *
+                                  b.lane<int16_t>(2 * i);
+               const int32_t p1 = a.lane<int16_t>(2 * i + 1) *
+                                  b.lane<int16_t>(2 * i + 1);
+               r.set_lane<uint32_t>(i, static_cast<uint32_t>(p0) +
+                                           static_cast<uint32_t>(p1));
+             }
+             return r;
+           });
+
+  add_case("pcmpeqb", port::cmpeq<uint8_t>, sw::sse2::cmpeq<uint8_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint8_t>(a, b, [](uint8_t x, uint8_t y) {
+               return static_cast<uint8_t>(x == y ? 0xFF : 0);
+             });
+           });
+  add_case("pcmpeqd", port::cmpeq<uint32_t>, sw::sse2::cmpeq<uint32_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint32_t>(a, b, [](uint32_t x, uint32_t y) {
+               return x == y ? 0xFFFFFFFFu : 0u;
+             });
+           });
+  add_case("pcmpgtw", port::cmpgt<int16_t>, sw::sse2::cmpgt<int16_t>,
+           [](Vec64 a, Vec64 b) {
+             return lanewise<uint16_t>(a, b, [](uint16_t x, uint16_t y) {
+               return static_cast<uint16_t>(
+                   static_cast<int16_t>(x) > static_cast<int16_t>(y) ? 0xFFFF
+                                                                     : 0);
+             });
+           });
+
+  add_case("pand", port::and_, sw::sse2::and_,
+           [](Vec64 a, Vec64 b) { return Vec64{a.bits() & b.bits()}; });
+  add_case("pandn", port::andn, sw::sse2::andn,
+           [](Vec64 a, Vec64 b) { return Vec64{~a.bits() & b.bits()}; });
+  add_case("por", port::or_, sw::sse2::or_,
+           [](Vec64 a, Vec64 b) { return Vec64{a.bits() | b.bits()}; });
+  add_case("pxor", port::xor_, sw::sse2::xor_,
+           [](Vec64 a, Vec64 b) { return Vec64{a.bits() ^ b.bits()}; });
+
+  add_case("packsswb", port::pack_sswb, sw::sse2::pack_sswb,
+           [](Vec64 a, Vec64 b) {
+             Vec64 r;
+             auto clamp8 = [](int32_t v) {
+               return static_cast<int8_t>(v > 127 ? 127
+                                                  : (v < -128 ? -128 : v));
+             };
+             for (int i = 0; i < 4; ++i) {
+               r.set_lane<int8_t>(i, clamp8(a.lane<int16_t>(i)));
+               r.set_lane<int8_t>(i + 4, clamp8(b.lane<int16_t>(i)));
+             }
+             return r;
+           });
+  add_case("packssdw", port::pack_ssdw, sw::sse2::pack_ssdw,
+           [](Vec64 a, Vec64 b) {
+             Vec64 r;
+             auto clamp16 = [](int64_t v) {
+               return static_cast<int16_t>(
+                   v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+             };
+             for (int i = 0; i < 2; ++i) {
+               r.set_lane<int16_t>(i, clamp16(a.lane<int32_t>(i)));
+               r.set_lane<int16_t>(i + 2, clamp16(b.lane<int32_t>(i)));
+             }
+             return r;
+           });
+  add_case("packuswb", port::pack_uswb, sw::sse2::pack_uswb,
+           [](Vec64 a, Vec64 b) {
+             Vec64 r;
+             auto clampu8 = [](int32_t v) {
+               return static_cast<uint8_t>(v > 255 ? 255 : (v < 0 ? 0 : v));
+             };
+             for (int i = 0; i < 4; ++i) {
+               r.set_lane<uint8_t>(i, clampu8(a.lane<int16_t>(i)));
+               r.set_lane<uint8_t>(i + 4, clampu8(b.lane<int16_t>(i)));
+             }
+             return r;
+           });
+
+  add_case("punpcklbw", port::unpack_lo<uint8_t>,
+           sw::sse2::unpack_lo<uint8_t>, [](Vec64 a, Vec64 b) {
+             Vec64 r;
+             for (int i = 0; i < 4; ++i) {
+               r.set_lane<uint8_t>(2 * i, a.lane<uint8_t>(i));
+               r.set_lane<uint8_t>(2 * i + 1, b.lane<uint8_t>(i));
+             }
+             return r;
+           });
+  add_case("punpckhbw", port::unpack_hi<uint8_t>,
+           sw::sse2::unpack_hi<uint8_t>, [](Vec64 a, Vec64 b) {
+             Vec64 r;
+             for (int i = 0; i < 4; ++i) {
+               r.set_lane<uint8_t>(2 * i, a.lane<uint8_t>(4 + i));
+               r.set_lane<uint8_t>(2 * i + 1, b.lane<uint8_t>(4 + i));
+             }
+             return r;
+           });
+  add_case("punpcklwd", port::unpack_lo<uint16_t>,
+           sw::sse2::unpack_lo<uint16_t>, [](Vec64 a, Vec64 b) {
+             Vec64 r;
+             for (int i = 0; i < 2; ++i) {
+               r.set_lane<uint16_t>(2 * i, a.lane<uint16_t>(i));
+               r.set_lane<uint16_t>(2 * i + 1, b.lane<uint16_t>(i));
+             }
+             return r;
+           });
+  add_case("punpckhwd", port::unpack_hi<uint16_t>,
+           sw::sse2::unpack_hi<uint16_t>, [](Vec64 a, Vec64 b) {
+             Vec64 r;
+             for (int i = 0; i < 2; ++i) {
+               r.set_lane<uint16_t>(2 * i, a.lane<uint16_t>(2 + i));
+               r.set_lane<uint16_t>(2 * i + 1, b.lane<uint16_t>(2 + i));
+             }
+             return r;
+           });
+  add_case("punpckldq", port::unpack_lo<uint32_t>,
+           sw::sse2::unpack_lo<uint32_t>, [](Vec64 a, Vec64 b) {
+             Vec64 r;
+             r.set_lane<uint32_t>(0, a.lane<uint32_t>(0));
+             r.set_lane<uint32_t>(1, b.lane<uint32_t>(0));
+             return r;
+           });
+  add_case("punpckhdq", port::unpack_hi<uint32_t>,
+           sw::sse2::unpack_hi<uint32_t>, [](Vec64 a, Vec64 b) {
+             Vec64 r;
+             r.set_lane<uint32_t>(0, a.lane<uint32_t>(1));
+             r.set_lane<uint32_t>(1, b.lane<uint32_t>(1));
+             return r;
+           });
+  return cases;
+}
+
+class SwarBinOp : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SwarBinOp, BackendsAgreeWithOracle) {
+  const auto& c = binop_cases()[GetParam()];
+  Rng rng(0xC0FFEE00 + GetParam());
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Vec64 a{rng.next()};
+    const Vec64 b{rng.next()};
+    const Vec64 want = c.oracle(a, b);
+    const Vec64 got_p = c.portable_fn(a, b);
+    const Vec64 got_s = c.sse2_fn(a, b);
+    ASSERT_EQ(got_p.bits(), want.bits())
+        << c.name << " portable vs oracle, a=" << sw::to_hex(a)
+        << " b=" << sw::to_hex(b);
+    ASSERT_EQ(got_s.bits(), want.bits())
+        << c.name << " sse2 vs oracle, a=" << sw::to_hex(a)
+        << " b=" << sw::to_hex(b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, SwarBinOp,
+                         ::testing::Range<size_t>(0, binop_cases().size()),
+                         [](const auto& info) {
+                           return binop_cases()[info.param].name;
+                         });
+
+// Shifts take a count, not a second packed operand — separate sweep.
+template <typename T>
+void shift_sweep(uint64_t seed) {
+  Rng rng(seed);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Vec64 a{rng.next()};
+    for (uint64_t count : {uint64_t{0}, uint64_t{1}, uint64_t{7},
+                           uint64_t{15}, uint64_t{16}, uint64_t{31},
+                           uint64_t{32}, uint64_t{63}, uint64_t{64},
+                           uint64_t{1000}}) {
+      ASSERT_EQ(port::shl<T>(a, count).bits(),
+                sw::sse2::shl<T>(a, count).bits())
+          << "shl width=" << sizeof(T) * 8 << " count=" << count;
+      ASSERT_EQ(port::shr_logical<T>(a, count).bits(),
+                sw::sse2::shr_logical<T>(a, count).bits())
+          << "shr width=" << sizeof(T) * 8 << " count=" << count;
+    }
+  }
+}
+
+TEST(SwarShift, BackendsAgree16) { shift_sweep<uint16_t>(1); }
+TEST(SwarShift, BackendsAgree32) { shift_sweep<uint32_t>(2); }
+TEST(SwarShift, BackendsAgree64) { shift_sweep<uint64_t>(3); }
+
+TEST(SwarShift, ArithBackendsAgree) {
+  Rng rng(4);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Vec64 a{rng.next()};
+    for (uint64_t count : {uint64_t{0}, uint64_t{1}, uint64_t{15},
+                           uint64_t{16}, uint64_t{31}, uint64_t{32},
+                           uint64_t{100}}) {
+      ASSERT_EQ(port::shr_arith<int16_t>(a, count).bits(),
+                sw::sse2::shr_arith<int16_t>(a, count).bits());
+      ASSERT_EQ(port::shr_arith<int32_t>(a, count).bits(),
+                sw::sse2::shr_arith<int32_t>(a, count).bits());
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Trace collection and pipeline rendering tests.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "profile/trace.h"
+#include "sim/machine.h"
+
+using namespace subword;
+using namespace subword::isa;
+
+TEST(Trace, RecordsEveryRetiredInstruction) {
+  Assembler a;
+  a.li(R1, 3);
+  a.label("l");
+  a.nop();
+  a.loopnz(R1, "l");
+  a.halt();
+  sim::Machine m(a.take(), 1 << 12);
+  prof::Tracer tracer;
+  m.set_trace(tracer.hook());
+  m.run();
+  EXPECT_EQ(tracer.records().size(), m.stats().instructions);
+  EXPECT_FALSE(tracer.truncated());
+}
+
+TEST(Trace, RendersPairsOnOneLine) {
+  Assembler a;
+  a.paddw(MM0, MM1);
+  a.psubw(MM2, MM3);  // pairs with the paddw
+  a.halt();
+  sim::Machine m(a.take(), 64);
+  prof::Tracer tracer;
+  m.set_trace(tracer.hook());
+  m.run();
+  const auto out = tracer.render();
+  EXPECT_NE(out.find("U= paddw mm0, mm1"), std::string::npos);
+  EXPECT_NE(out.find("| V= psubw mm2, mm3"), std::string::npos);
+}
+
+TEST(Trace, MarksMispredicts) {
+  Assembler a;
+  a.li(R1, 2);
+  a.label("l");
+  a.loopnz(R1, "l");
+  a.halt();
+  sim::Machine m(a.take(), 64);
+  prof::Tracer tracer;
+  m.set_trace(tracer.hook());
+  m.run();
+  EXPECT_NE(tracer.render().find("[MISPREDICT]"), std::string::npos);
+}
+
+TEST(Trace, ShowsStallBubbles) {
+  Assembler a;
+  a.pmullw(MM0, MM1);   // 3-cycle result
+  a.paddw(MM2, MM0);    // stalls on it
+  a.halt();
+  sim::Machine m(a.take(), 64);
+  prof::Tracer tracer;
+  m.set_trace(tracer.hook());
+  m.run();
+  EXPECT_NE(tracer.render().find("(stall/bubble"), std::string::npos);
+}
+
+TEST(Trace, TruncatesAtCapacity) {
+  Assembler a;
+  a.li(R1, 100);
+  a.label("l");
+  a.nop();
+  a.loopnz(R1, "l");
+  a.halt();
+  sim::Machine m(a.take(), 1 << 12);
+  prof::Tracer tracer(10);
+  m.set_trace(tracer.hook());
+  m.run();
+  EXPECT_EQ(tracer.records().size(), 10u);
+  EXPECT_TRUE(tracer.truncated());
+  EXPECT_NE(tracer.render().find("(trace truncated)"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  prof::Tracer tracer(4);
+  Assembler a;
+  a.nop();
+  a.halt();
+  sim::Machine m(a.take(), 64);
+  m.set_trace(tracer.hook());
+  m.run();
+  EXPECT_FALSE(tracer.records().empty());
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+}
