@@ -1,0 +1,112 @@
+// Batch-runtime throughput: the paper's prologue-amortization economy at
+// service level.
+//
+// A fixed request mix (every Figure-9 kernel, auto-orchestrated, a handful
+// of distinct configurations) is pushed through the BatchEngine at
+// increasing worker counts. Two effects are on display:
+//
+//  * throughput scales with workers, because jobs are independent and the
+//    per-worker Machine is reset, not reallocated, between jobs;
+//  * the orchestration cache turns the expensive half (provenance analysis
+//    + program rewriting) into a one-time cost per unique configuration —
+//    the same shape as the SPU's MMIO prologue amortizing over loop trips.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "runtime/batch_engine.h"
+
+using namespace subword;
+using namespace subword::bench;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::vector<runtime::KernelJob> request_mix(int copies) {
+  // 8 kernels x 2 configs = 16 unique orchestrations, replicated `copies`
+  // times — a repeated-config workload like a service hot set.
+  std::vector<runtime::KernelJob> jobs;
+  for (int c = 0; c < copies; ++c) {
+    for (const auto& k : kernels::all_kernels()) {
+      for (const auto& cfg : {core::kConfigA, core::kConfigD}) {
+        runtime::KernelJob j;
+        j.kernel = k->name();
+        j.repeats = 1;
+        j.use_spu = true;
+        j.mode = kernels::SpuMode::Auto;
+        j.cfg = cfg;
+        jobs.push_back(j);
+      }
+    }
+  }
+  return jobs;
+}
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kCopies = 24;
+  const auto jobs = request_mix(kCopies);
+  std::printf(
+      "Batch runtime throughput — %zu jobs (16 unique configurations x %d "
+      "replays)\nhardware concurrency: %u (speedup saturates there)\n\n",
+      jobs.size(), kCopies, std::thread::hardware_concurrency());
+
+  prof::Table t({"workers", "wall ms", "jobs/s", "speedup", "cache hits",
+                 "misses", "hit rate", "prep ms (sum)", "exec ms (sum)"});
+  double base_ms = 0.0;
+  double final_hit_rate = 0.0;
+  for (const int workers : {1, 2, 4, 8}) {
+    runtime::BatchEngine engine({.workers = workers, .cache = nullptr});
+    const auto t0 = Clock::now();
+    const auto results = engine.run_batch(jobs);
+    const double wall = ms_since(t0);
+    if (workers == 1) base_ms = wall;
+
+    uint64_t prep_ns = 0;
+    uint64_t exec_ns = 0;
+    for (const auto& r : results) {
+      check(r.ok && r.run.verified, "job on " + std::to_string(workers) +
+                                        " workers (" + r.error + ")");
+      prep_ns += r.prepare_ns;
+      exec_ns += r.execute_ns;
+    }
+    const auto s = engine.stats();
+    final_hit_rate = s.cache.hit_rate();
+    t.add_row({std::to_string(workers), prof::fixed(wall, 1),
+               prof::fixed(1000.0 * static_cast<double>(jobs.size()) / wall, 0),
+               prof::fixed(base_ms / wall, 2), std::to_string(s.cache.hits),
+               std::to_string(s.cache.misses), prof::pct(final_hit_rate, 1),
+               prof::fixed(static_cast<double>(prep_ns) / 1e6, 1),
+               prof::fixed(static_cast<double>(exec_ns) / 1e6, 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Cold vs warm on one engine: the amortization curve itself.
+  runtime::BatchEngine warm({.workers = 4, .cache = nullptr});
+  const auto cold0 = Clock::now();
+  (void)warm.run_batch(request_mix(1));
+  const double cold_ms = ms_since(cold0);
+  const auto warm0 = Clock::now();
+  (void)warm.run_batch(request_mix(1));
+  const double warm_ms = ms_since(warm0);
+  std::printf(
+      "Cold pass (16 jobs, every config orchestrated): %.1f ms; warm pass "
+      "(all cached): %.1f ms (%.2fx)\n\n",
+      cold_ms, warm_ms, cold_ms / warm_ms);
+
+  std::printf(
+      "Reading: each unique (kernel, size, crossbar, options) is "
+      "orchestrated exactly once\nand replayed from the shared cache "
+      "thereafter — the MMIO-prologue economy of the\npaper, lifted from "
+      "loop trips to request volume.\n");
+
+  check(final_hit_rate > 0.9, "orchestration-cache hit rate > 90%");
+  return 0;
+}

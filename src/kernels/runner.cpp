@@ -1,55 +1,109 @@
 #include "kernels/runner.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "core/mmio.h"
 
 namespace subword::kernels {
 
+PreparedProgram prepare_baseline(const MediaKernel& k, int repeats,
+                                 sim::PipelineConfig pc) {
+  PreparedProgram p;
+  p.program = std::make_shared<const isa::Program>(k.build_mmx(repeats));
+  p.pc = pc;
+  p.use_spu = false;
+  p.repeats = repeats;
+  return p;
+}
+
+PreparedProgram prepare_spu(const MediaKernel& k, int repeats,
+                            const core::CrossbarConfig& cfg, SpuMode mode,
+                            sim::PipelineConfig pc,
+                            const core::OrchestratorOptions* opts) {
+  PreparedProgram p;
+  p.cfg = cfg;
+  p.pc = pc;
+  p.pc.extra_spu_stage = true;
+  p.use_spu = true;
+  p.repeats = repeats;
+
+  if (mode == SpuMode::Manual) {
+    auto manual = k.build_spu(cfg, repeats);
+    if (!manual.has_value()) {
+      throw std::logic_error("prepare_spu: kernel '" + k.name() +
+                             "' has no manual SPU variant");
+    }
+    p.program = std::make_shared<const isa::Program>(std::move(*manual));
+  } else {
+    core::OrchestratorOptions o;
+    if (opts != nullptr) o = *opts;
+    o.config = cfg;
+    p.mmio_base = o.mmio_base;
+    core::Orchestrator orch(o);
+    auto result = std::make_shared<core::OrchestrationResult>(
+        orch.run(k.build_mmx(repeats)));
+    p.num_contexts =
+        std::max<int>(1, static_cast<int>(result->contexts.size()));
+    p.program = std::shared_ptr<const isa::Program>(result, &result->program);
+    p.orchestration = std::move(result);
+  }
+  return p;
+}
+
+KernelRun execute_prepared(const MediaKernel& k, const PreparedProgram& p,
+                           sim::Machine* scratch) {
+  KernelRun out;
+  out.orchestration = p.orchestration;
+
+  std::optional<sim::Machine> local;
+  sim::Machine* m;
+  if (scratch != nullptr && scratch->memory().size() == kMemBytes) {
+    scratch->reset(p.program, p.pc);
+    m = scratch;
+  } else {
+    local.emplace(p.program, kMemBytes, p.pc);
+    m = &*local;
+  }
+
+  // The Spu/SpuMmio live on this stack frame: a reused scratch machine
+  // must never leave pointers to them behind, including on exception
+  // unwind (e.g. a max_cycles overrun throwing out of run()).
+  struct DetachGuard {
+    sim::Machine* m;
+    ~DetachGuard() {
+      if (m != nullptr) {
+        m->set_router(nullptr);
+        m->memory().unmap_device();
+      }
+    }
+  } guard{m == scratch ? m : nullptr};
+
+  std::optional<core::Spu> spu;
+  std::optional<core::SpuMmio> mmio;
+  if (p.use_spu) {
+    spu.emplace(p.cfg, p.num_contexts);
+    mmio.emplace(&*spu);
+    m->memory().map_device(p.mmio_base, core::SpuMmio::kWindowSize, &*mmio);
+    m->set_router(&*spu);
+  }
+  k.init_memory(m->memory());
+  out.stats = m->run();
+  out.verified = k.verify(m->memory());
+  if (spu) out.spu = spu->run_stats();
+  return out;
+}
+
 KernelRun run_baseline(const MediaKernel& k, int repeats,
                        sim::PipelineConfig pc) {
-  KernelRun out;
-  sim::Machine m(k.build_mmx(repeats), kMemBytes, pc);
-  k.init_memory(m.memory());
-  out.stats = m.run();
-  out.verified = k.verify(m.memory());
-  return out;
+  return execute_prepared(k, prepare_baseline(k, repeats, pc));
 }
 
 KernelRun run_spu(const MediaKernel& k, int repeats,
                   const core::CrossbarConfig& cfg, SpuMode mode,
                   sim::PipelineConfig pc) {
-  KernelRun out;
-  pc.extra_spu_stage = true;
-
-  isa::Program prog;
-  if (mode == SpuMode::Manual) {
-    auto manual = k.build_spu(cfg, repeats);
-    if (!manual.has_value()) {
-      throw std::logic_error("run_spu: kernel '" + k.name() +
-                             "' has no manual SPU variant");
-    }
-    prog = std::move(*manual);
-  } else {
-    core::OrchestratorOptions opts;
-    opts.config = cfg;
-    core::Orchestrator orch(opts);
-    auto result = orch.run(k.build_mmx(repeats));
-    prog = result.program;
-    out.orchestration = std::move(result);
-  }
-
-  sim::Machine m(std::move(prog), kMemBytes, pc);
-  core::Spu spu(cfg, /*num_contexts=*/8);
-  core::SpuMmio mmio(&spu);
-  m.memory().map_device(core::SpuMmio::kDefaultBase, core::SpuMmio::kWindowSize,
-                        &mmio);
-  m.set_router(&spu);
-  k.init_memory(m.memory());
-  out.stats = m.run();
-  out.verified = k.verify(m.memory());
-  out.spu = spu.run_stats();
-  return out;
+  return execute_prepared(k, prepare_spu(k, repeats, cfg, mode, pc));
 }
 
 }  // namespace subword::kernels

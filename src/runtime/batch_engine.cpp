@@ -1,0 +1,185 @@
+#include "runtime/batch_engine.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "kernels/registry.h"
+
+namespace subword::runtime {
+
+namespace {
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(Options opts) {
+  cache_ = opts.cache ? std::move(opts.cache)
+                      : std::make_shared<OrchestrationCache>();
+  int n = opts.workers;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+BatchEngine::~BatchEngine() { shutdown(); }
+
+std::future<JobResult> BatchEngine::submit(KernelJob job) {
+  Task task;
+  task.job = std::move(job);
+  std::future<JobResult> fut = task.promise.get_future();
+  {
+    std::lock_guard lock(mu_);
+    if (!accepting_) {
+      throw std::runtime_error("BatchEngine::submit after shutdown");
+    }
+    ++agg_.jobs_submitted;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+std::vector<JobResult> BatchEngine::run_batch(std::vector<KernelJob> jobs) {
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(jobs.size());
+  for (auto& j : jobs) futures.push_back(submit(std::move(j)));
+  std::vector<JobResult> out;
+  out.reserve(futures.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+void BatchEngine::shutdown() {
+  bool join_here = false;
+  {
+    std::lock_guard lock(mu_);
+    accepting_ = false;
+    draining_ = true;
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
+  }
+  cv_.notify_all();
+  if (join_here) {
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+void BatchEngine::cancel() {
+  std::deque<Task> dropped;
+  {
+    std::lock_guard lock(mu_);
+    accepting_ = false;
+    draining_ = true;
+    dropped.swap(queue_);
+  }
+  cv_.notify_all();
+  for (auto& task : dropped) {
+    JobResult r;
+    r.ok = false;
+    r.error = "cancelled";
+    {
+      std::lock_guard lock(mu_);
+      ++agg_.jobs_completed;
+      ++agg_.jobs_failed;
+    }
+    task.promise.set_value(std::move(r));
+  }
+  shutdown();
+}
+
+EngineStats BatchEngine::stats() const {
+  EngineStats s;
+  {
+    std::lock_guard lock(mu_);
+    s = agg_;
+  }
+  s.cache = cache_->stats();
+  return s;
+}
+
+void BatchEngine::worker_loop(int worker_id) {
+  std::unique_ptr<sim::Machine> scratch;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    JobResult result = run_job(task.job, worker_id, scratch);
+    finish(std::move(task), std::move(result));
+  }
+}
+
+JobResult BatchEngine::run_job(const KernelJob& job, int worker_id,
+                               std::unique_ptr<sim::Machine>& scratch) {
+  JobResult r;
+  r.worker = worker_id;
+  try {
+    const auto kernel = kernels::make_kernel(job.kernel);
+
+    const OrchestrationKey key = make_key(job.kernel, job.repeats, job.mode,
+                                          job.use_spu, job.cfg, job.opts,
+                                          job.pc);
+    bool prepared_here = false;
+    const uint64_t t0 = now_ns();
+    const auto prepared = cache_->get_or_prepare(key, [&] {
+      prepared_here = true;
+      if (!job.use_spu) {
+        return kernels::prepare_baseline(*kernel, job.repeats, job.pc);
+      }
+      return kernels::prepare_spu(*kernel, job.repeats, job.cfg, job.mode,
+                                  job.pc, &job.opts);
+    });
+    const uint64_t t1 = now_ns();
+    r.cache_hit = !prepared_here;
+    r.prepare_ns = t1 - t0;
+
+    if (!scratch) {
+      scratch = std::make_unique<sim::Machine>(prepared->program,
+                                               kernels::kMemBytes,
+                                               prepared->pc);
+    }
+    r.run = kernels::execute_prepared(*kernel, *prepared, scratch.get());
+    r.execute_ns = now_ns() - t1;
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  return r;
+}
+
+void BatchEngine::finish(Task&& task, JobResult&& result) {
+  {
+    std::lock_guard lock(mu_);
+    ++agg_.jobs_completed;
+    if (!result.ok) ++agg_.jobs_failed;
+    agg_.cycles_simulated += result.run.stats.cycles;
+    agg_.instructions_retired += result.run.stats.instructions;
+  }
+  task.promise.set_value(std::move(result));
+}
+
+}  // namespace subword::runtime

@@ -1,0 +1,124 @@
+// batch_engine.h — thread-pooled batch execution of kernel jobs.
+//
+// Accepts queues of jobs ({kernel, size, repeats, crossbar config, mode}),
+// runs them on per-worker sim::Machine instances (reset between jobs, not
+// reallocated), and returns aggregated KernelRun stats. Preparation —
+// program construction and orchestrator analysis — goes through a shared
+// OrchestrationCache, so the expensive half runs once per unique
+// configuration regardless of request volume or worker count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/runner.h"
+#include "runtime/orchestration_cache.h"
+
+namespace subword::runtime {
+
+// One request: which kernel, how big, how often, on which hardware shape.
+struct KernelJob {
+  std::string kernel;           // registry name (see kernels/registry.h)
+  int repeats = 1;              // problem size knob
+  bool use_spu = true;          // false: baseline MMX run
+  kernels::SpuMode mode = kernels::SpuMode::Auto;
+  core::CrossbarConfig cfg = core::kConfigA;
+  core::OrchestratorOptions opts{};  // Auto path; opts.config is overridden
+  sim::PipelineConfig pc{};
+};
+
+struct JobResult {
+  kernels::KernelRun run;
+  bool ok = false;              // false: `error` explains
+  std::string error;
+  bool cache_hit = false;       // preparation came from the cache
+  uint64_t prepare_ns = 0;      // time spent in get_or_prepare
+  uint64_t execute_ns = 0;      // time spent simulating
+  int worker = -1;              // which worker executed the job
+};
+
+// Aggregate view over a finished batch (or the engine's lifetime).
+struct EngineStats {
+  uint64_t jobs_submitted = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t jobs_failed = 0;
+  uint64_t cycles_simulated = 0;
+  uint64_t instructions_retired = 0;
+  CacheStats cache;
+};
+
+struct BatchEngineOptions {
+  int workers = 0;  // 0: hardware_concurrency (at least 1)
+  // Shared cache; when null the engine owns a private one. Sharing one
+  // cache across engines models several service replicas amortizing the
+  // same orchestrations.
+  std::shared_ptr<OrchestrationCache> cache;
+};
+
+class BatchEngine {
+ public:
+  using Options = BatchEngineOptions;
+
+  explicit BatchEngine(Options opts = {});
+  // Drains gracefully: equivalent to shutdown().
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  // Enqueue one job. Throws std::runtime_error after shutdown() began.
+  std::future<JobResult> submit(KernelJob job);
+
+  // Convenience: submit everything, wait for everything, preserve order.
+  [[nodiscard]] std::vector<JobResult> run_batch(std::vector<KernelJob> jobs);
+
+  // Stop accepting new jobs, finish every job already queued or in flight,
+  // join the workers. Idempotent; called by the destructor.
+  void shutdown();
+
+  // Stop accepting new jobs and discard the still-queued ones (their
+  // futures resolve with ok=false, error="cancelled"); in-flight jobs
+  // complete. Joins the workers.
+  void cancel();
+
+  [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
+  [[nodiscard]] const OrchestrationCache& cache() const { return *cache_; }
+  [[nodiscard]] std::shared_ptr<OrchestrationCache> shared_cache() const {
+    return cache_;
+  }
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  struct Task {
+    KernelJob job;
+    std::promise<JobResult> promise;
+  };
+
+  void worker_loop(int worker_id);
+  [[nodiscard]] JobResult run_job(const KernelJob& job, int worker_id,
+                                  std::unique_ptr<sim::Machine>& scratch);
+  void finish(Task&& task, JobResult&& result);
+
+  std::shared_ptr<OrchestrationCache> cache_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool accepting_ = true;
+  bool draining_ = false;   // workers exit once the queue empties
+  bool joined_ = false;
+
+  // Aggregates (guarded by mu_).
+  EngineStats agg_;
+};
+
+}  // namespace subword::runtime

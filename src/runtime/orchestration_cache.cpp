@@ -1,0 +1,122 @@
+#include "runtime/orchestration_cache.h"
+
+namespace subword::runtime {
+
+std::shared_ptr<const kernels::PreparedProgram>
+OrchestrationCache::get_or_prepare(const OrchestrationKey& key,
+                                   const Factory& factory) {
+  std::shared_ptr<Entry> entry;
+  {
+    // Fast path: shared lock, entry exists and is already populated.
+    std::shared_lock lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) entry = it->second;
+  }
+  if (!entry) {
+    std::unique_lock lock(mu_);
+    auto [it, fresh] = map_.try_emplace(key);
+    if (fresh) it->second = std::make_shared<Entry>();
+    entry = it->second;
+  }
+
+  // Exactly-once preparation per key; racing callers block here until the
+  // winner finishes, then share its product. call_once synchronizes the
+  // winner's writes to entry->prepared/error with every later caller.
+  bool ran_factory = false;
+  std::call_once(entry->once, [&] {
+    ran_factory = true;
+    try {
+      entry->prepared = std::make_shared<const kernels::PreparedProgram>(
+          factory());
+    } catch (...) {
+      entry->error = std::current_exception();
+    }
+  });
+
+  if (entry->error) {
+    {
+      // Drop the poisoned entry so a later call can retry.
+      std::unique_lock lock(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end() && it->second == entry) map_.erase(it);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::rethrow_exception(entry->error);
+  }
+  if (ran_factory) {
+    // Only the factory runner takes the exclusive lock (once per key), to
+    // publish the result for peek(); pure hits never serialize on mu_.
+    std::unique_lock lock(mu_);
+    entry->published = entry->prepared;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return entry->prepared;
+}
+
+std::shared_ptr<const kernels::PreparedProgram> OrchestrationCache::peek(
+    const OrchestrationKey& key) const {
+  std::shared_lock lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  // `published` is only ever written under mu_ (see get_or_prepare), so
+  // this read is race-free; an in-flight preparation reads as absent.
+  return it->second->published;
+}
+
+CacheStats OrchestrationCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock lock(mu_);
+    s.entries = map_.size();
+  }
+  return s;
+}
+
+void OrchestrationCache::clear() {
+  std::unique_lock lock(mu_);
+  map_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+OrchestrationKey make_key(const std::string& kernel, int repeats,
+                          kernels::SpuMode mode, bool use_spu,
+                          const core::CrossbarConfig& cfg,
+                          const core::OrchestratorOptions& opts,
+                          const sim::PipelineConfig& pc) {
+  OrchestrationKey k;
+  k.kernel = kernel;
+  k.repeats = repeats;
+  k.use_spu = use_spu;
+  // Normalize fields that cannot affect the preparation, so equivalent
+  // requests share one entry: baseline jobs ignore the crossbar, the
+  // orchestrator options and the mode entirely; manual SPU programs ignore
+  // the orchestrator options.
+  if (use_spu) {
+    k.mode = mode;
+    k.input_ports = cfg.input_ports;
+    k.output_ports = cfg.output_ports;
+    k.port_bits = cfg.port_bits;
+    k.modes = cfg.modes;
+    if (mode == kernels::SpuMode::Auto) {
+      k.max_contexts = opts.max_contexts;
+      k.mmio_base = opts.mmio_base;
+      k.orchestrate_empty_loops = opts.orchestrate_empty_loops;
+    }
+  }
+  k.mispredict_penalty = pc.mispredict_penalty;
+  k.bht_entries = pc.bht_entries;
+  k.bpred = pc.bpred;
+  k.dual_issue = pc.dual_issue;
+  // SPU preparations force extra_spu_stage on, so for them the incoming
+  // value is inert — normalize it like the other non-affecting fields.
+  k.extra_spu_stage = use_spu ? true : pc.extra_spu_stage;
+  k.max_cycles = pc.max_cycles;
+  return k;
+}
+
+}  // namespace subword::runtime

@@ -1,0 +1,158 @@
+// orchestration_cache.h — service-level amortization of SPU setup.
+//
+// The paper's economy is that a crossbar microprogram is expensive to set
+// up once (the MMIO prologue) and nearly free per loop iteration. At
+// service level the expensive step is one level up: the Orchestrator's
+// provenance analysis and program rewriting (or the kernel's manual SPU
+// program construction). This cache keys PreparedPrograms by
+// (kernel id, problem size, crossbar config, orchestrator options, mode)
+// and shares them across workers behind a shared mutex, so each unique
+// configuration is orchestrated exactly once no matter how many requests
+// replay it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/orchestrator.h"
+#include "kernels/runner.h"
+
+namespace subword::runtime {
+
+// Identity of one prepared configuration. CrossbarConfig carries only
+// static data (geometry + modes flag), so its fields are the identity; the
+// kernel is identified by registry name, the problem size by repeats.
+struct OrchestrationKey {
+  std::string kernel;
+  int repeats = 1;
+  kernels::SpuMode mode = kernels::SpuMode::Auto;
+  bool use_spu = true;
+  // CrossbarConfig identity.
+  int input_ports = 0;
+  int output_ports = 0;
+  int port_bits = 0;
+  bool modes = false;
+  // OrchestratorOptions identity (config is folded in above).
+  int max_contexts = 8;
+  uint64_t mmio_base = 0;
+  bool orchestrate_empty_loops = false;
+  // PipelineConfig identity (prepared programs embed the pipeline config).
+  int mispredict_penalty = 4;
+  int bht_entries = 1024;
+  sim::PredictorKind bpred = sim::PredictorKind::LocalHistory;
+  bool dual_issue = true;
+  bool extra_spu_stage = false;
+  uint64_t max_cycles = 1ull << 40;
+
+  friend bool operator==(const OrchestrationKey& a,
+                         const OrchestrationKey& b) {
+    return a.kernel == b.kernel && a.repeats == b.repeats &&
+           a.mode == b.mode && a.use_spu == b.use_spu &&
+           a.input_ports == b.input_ports &&
+           a.output_ports == b.output_ports && a.port_bits == b.port_bits &&
+           a.modes == b.modes && a.max_contexts == b.max_contexts &&
+           a.mmio_base == b.mmio_base &&
+           a.orchestrate_empty_loops == b.orchestrate_empty_loops &&
+           a.mispredict_penalty == b.mispredict_penalty &&
+           a.bht_entries == b.bht_entries && a.bpred == b.bpred &&
+           a.dual_issue == b.dual_issue &&
+           a.extra_spu_stage == b.extra_spu_stage &&
+           a.max_cycles == b.max_cycles;
+  }
+};
+
+struct OrchestrationKeyHash {
+  size_t operator()(const OrchestrationKey& k) const {
+    size_t h = std::hash<std::string>{}(k.kernel);
+    auto mix = [&h](uint64_t v) {
+      h ^= std::hash<uint64_t>{}(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    };
+    mix(static_cast<uint64_t>(k.repeats));
+    mix(static_cast<uint64_t>(k.mode) | (k.use_spu ? 0x100u : 0u) |
+        (k.modes ? 0x200u : 0u) |
+        (k.orchestrate_empty_loops ? 0x400u : 0u) |
+        (k.dual_issue ? 0x800u : 0u) |
+        (k.extra_spu_stage ? 0x1000u : 0u));
+    mix(k.max_cycles);
+    mix(static_cast<uint64_t>(k.input_ports) |
+        (static_cast<uint64_t>(k.output_ports) << 8) |
+        (static_cast<uint64_t>(k.port_bits) << 16) |
+        (static_cast<uint64_t>(k.max_contexts) << 24));
+    mix(k.mmio_base);
+    mix(static_cast<uint64_t>(k.mispredict_penalty) |
+        (static_cast<uint64_t>(k.bht_entries) << 16) |
+        (static_cast<uint64_t>(k.bpred) << 48));
+    return h;
+  }
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t entries = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class OrchestrationCache {
+ public:
+  using Factory = std::function<kernels::PreparedProgram()>;
+
+  // Returns the cached PreparedProgram for `key`, invoking `factory`
+  // exactly once per unique key across all threads (later callers block on
+  // the in-flight preparation rather than duplicating it). If the factory
+  // throws, the error propagates to every waiter of that preparation and
+  // the entry is discarded so a retry is possible.
+  [[nodiscard]] std::shared_ptr<const kernels::PreparedProgram> get_or_prepare(
+      const OrchestrationKey& key, const Factory& factory);
+
+  // Lookup without preparing; nullptr when absent (counts as neither hit
+  // nor miss).
+  [[nodiscard]] std::shared_ptr<const kernels::PreparedProgram> peek(
+      const OrchestrationKey& key) const;
+
+  [[nodiscard]] CacheStats stats() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    // Written inside call_once; readers must have passed the same call_once
+    // (which provides the happens-before edge).
+    std::shared_ptr<const kernels::PreparedProgram> prepared;
+    std::exception_ptr error;
+    // Mirror of `prepared` written under mu_ after the preparation
+    // completes — the only member peek() may read.
+    std::shared_ptr<const kernels::PreparedProgram> published;
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<OrchestrationKey, std::shared_ptr<Entry>,
+                     OrchestrationKeyHash>
+      map_;
+  // Atomic so the hot hit path never takes the exclusive lock.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+// Key for a job as the batch engine prepares it.
+[[nodiscard]] OrchestrationKey make_key(const std::string& kernel,
+                                        int repeats, kernels::SpuMode mode,
+                                        bool use_spu,
+                                        const core::CrossbarConfig& cfg,
+                                        const core::OrchestratorOptions& opts,
+                                        const sim::PipelineConfig& pc);
+
+}  // namespace subword::runtime

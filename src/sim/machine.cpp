@@ -16,11 +16,48 @@ constexpr uint8_t kGpBase = isa::kNumMmxRegs;
 }
 
 Machine::Machine(isa::Program program, size_t mem_bytes, PipelineConfig cfg)
+    : Machine(std::make_shared<const isa::Program>(std::move(program)),
+              mem_bytes, cfg) {}
+
+Machine::Machine(std::shared_ptr<const isa::Program> program,
+                 size_t mem_bytes, PipelineConfig cfg)
     : prog_(std::move(program)),
       mem_(mem_bytes),
       cfg_(cfg),
       bpred_(cfg.bht_entries, cfg.bpred) {
-  if (prog_.empty()) throw std::invalid_argument("Machine: empty program");
+  if (prog_ == nullptr || prog_->empty()) {
+    throw std::invalid_argument("Machine: empty program");
+  }
+}
+
+void Machine::reset(isa::Program program, PipelineConfig cfg) {
+  reset(std::make_shared<const isa::Program>(std::move(program)), cfg);
+}
+
+void Machine::reset(std::shared_ptr<const isa::Program> program,
+                    PipelineConfig cfg) {
+  if (program == nullptr || program->empty()) {
+    throw std::invalid_argument("Machine: empty program");
+  }
+  prog_ = std::move(program);
+  mem_.clear();
+  mem_.unmap_device();
+  if (cfg.bht_entries != cfg_.bht_entries || cfg.bpred != cfg_.bpred) {
+    bpred_ = BranchPredictor(cfg.bht_entries, cfg.bpred);
+  } else {
+    bpred_.reset();
+  }
+  cfg_ = cfg;
+  mmx_ = MmxRegFile{};
+  gp_ = GpRegFile{};
+  router_ = nullptr;
+  trace_ = nullptr;
+  stats_ = RunStats{};
+  cycle_ = 0;
+  pc_ = 0;
+  halted_ = false;
+  started_ = false;
+  ready_.fill(0);
 }
 
 bool Machine::operands_ready(const Inst& in, uint64_t cycle) const {
@@ -269,10 +306,10 @@ const RunStats& Machine::run_for_instructions(uint64_t n) {
     if (cycle_ >= cfg_.max_cycles) {
       throw std::runtime_error("Machine: cycle limit exceeded");
     }
-    if (pc_ >= prog_.size()) {
+    if (pc_ >= prog_->size()) {
       throw std::runtime_error("Machine: pc ran off the program");
     }
-    const Inst& u = prog_.at(pc_);
+    const Inst& u = prog_->at(pc_);
     if (!operands_ready(u, cycle_)) {
       ++stats_.stall_cycles;
       ++cycle_;
@@ -288,9 +325,9 @@ const RunStats& Machine::run_for_instructions(uint64_t n) {
     uint64_t v_next = 0;
 
     const bool u_diverts = u_branch || halted_;
-    if (cfg_.dual_issue && !u_diverts && pc_ + 1 < prog_.size() &&
+    if (cfg_.dual_issue && !u_diverts && pc_ + 1 < prog_->size() &&
         retired < n) {
-      const Inst& v = prog_.at(pc_ + 1);
+      const Inst& v = prog_->at(pc_ + 1);
       if (can_pair(u, v) && operands_ready(v, cycle_)) {
         v_next = execute(v, Pipe::V, &v_branch, &v_mispredict);
         ++retired;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "isa/program.h"
@@ -46,16 +47,29 @@ using TraceFn = std::function<void(const TraceEvent&)>;
 class Machine {
  public:
   Machine(isa::Program program, size_t mem_bytes, PipelineConfig cfg = {});
+  // Shared-program overload: the batch runtime executes one immutable
+  // cached program from many machines without copying it per job.
+  Machine(std::shared_ptr<const isa::Program> program, size_t mem_bytes,
+          PipelineConfig cfg = {});
 
   [[nodiscard]] Memory& memory() { return mem_; }
   [[nodiscard]] const Memory& memory() const { return mem_; }
   [[nodiscard]] MmxRegFile& mmx() { return mmx_; }
   [[nodiscard]] GpRegFile& gp() { return gp_; }
-  [[nodiscard]] const isa::Program& program() const { return prog_; }
+  [[nodiscard]] const isa::Program& program() const { return *prog_; }
   [[nodiscard]] const PipelineConfig& config() const { return cfg_; }
 
   void set_router(OperandRouter* router) { router_ = router; }
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  // Reset for reuse between jobs: replaces the program and pipeline
+  // configuration, zeroes memory and architectural state, detaches router,
+  // trace and device mapping, and clears statistics. Keeps the memory
+  // allocation — the batch runtime resets one Machine per worker instead of
+  // reallocating the arena per job.
+  void reset(isa::Program program, PipelineConfig cfg = {});
+  void reset(std::shared_ptr<const isa::Program> program,
+             PipelineConfig cfg = {});
 
   // Run until Halt (or cycle limit). Returns the accumulated statistics.
   const RunStats& run();
@@ -77,7 +91,7 @@ class Machine {
                                     uint64_t cycle) const;
   void account_category(const isa::Inst& in);
 
-  isa::Program prog_;
+  std::shared_ptr<const isa::Program> prog_;
   Memory mem_;
   PipelineConfig cfg_;
   MmxRegFile mmx_;

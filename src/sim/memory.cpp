@@ -1,11 +1,14 @@
 #include "sim/memory.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
 namespace subword::sim {
 
 Memory::Memory(size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+void Memory::clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
 
 void Memory::check_range(uint64_t addr, uint64_t len) const {
   if (addr + len > bytes_.size() || addr + len < addr) {

@@ -73,6 +73,16 @@ class Memory {
   // window are forwarded; other widths inside the window are rejected.
   void map_device(uint64_t base, uint64_t window_size, Device* dev);
 
+  // Remove the device mapping (Machine reuse between jobs).
+  void unmap_device() {
+    device_ = nullptr;
+    device_base_ = 0;
+    device_size_ = 0;
+  }
+
+  // Zero the whole arena in place, keeping the allocation.
+  void clear();
+
   [[nodiscard]] bool in_device_window(uint64_t addr) const {
     return device_ != nullptr && addr >= device_base_ &&
            addr < device_base_ + device_size_;

@@ -22,7 +22,7 @@ TEST(AutoOrchestration, FirKernelIsAutomaticallyOrchestrated) {
   const auto k = kernels::make_kernel("FIR22");
   const auto run = kernels::run_spu(*k, 2, kConfigA, SpuMode::Auto);
   EXPECT_TRUE(run.verified);
-  ASSERT_TRUE(run.orchestration.has_value());
+  ASSERT_TRUE(run.orchestration != nullptr);
   EXPECT_GT(run.orchestration->removed_static, 0);
 }
 
@@ -34,7 +34,7 @@ TEST(AutoOrchestration, Fir12MergedReduceIsCorrectlyRejected) {
   const auto k = kernels::make_kernel("FIR12");
   const auto run = kernels::run_spu(*k, 2, kConfigA, SpuMode::Auto);
   EXPECT_TRUE(run.verified);  // soundness: never corrupts
-  ASSERT_TRUE(run.orchestration.has_value());
+  ASSERT_TRUE(run.orchestration != nullptr);
   EXPECT_EQ(run.orchestration->removed_static, 0);
 }
 
