@@ -1,0 +1,108 @@
+// New-workload ablation: the three extended media kernels (Motion
+// Estimation, Color Convert, 2D Convolution) end-to-end.
+//
+// Part 1 measures the paper's economy per kernel: how much permutation
+// work the baseline spends on data alignment, how much of it the
+// hand-written SPU variant deletes, what the one-time SPU setup costs in
+// executed instructions (MMIO programming prologue + GO writes), and the
+// resulting cycle speedup. The automatic orchestrator's static removals
+// are shown alongside as the "no hand-coding" row of the same story.
+//
+// Part 2 lifts the same amortization to service level: a request mix over
+// the three kernels, two crossbar configurations and both SPU modes runs
+// through the BatchEngine, and the orchestration cache must serve >90% of
+// the requests without re-preparing anything.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "runtime/batch_engine.h"
+
+using namespace subword;
+using namespace subword::bench;
+
+namespace {
+
+constexpr const char* kNewKernels[] = {"Motion Estimation", "Color Convert",
+                                       "2D Convolution"};
+
+}  // namespace
+
+int main() {
+  std::printf("New media workloads — setup cost vs permutation savings\n\n");
+
+  prof::Table t({"kernel", "repeats", "perm base", "perm spu", "removed",
+                 "setup instrs", "cycles base", "cycles spu", "speedup",
+                 "auto removed (static)"});
+  for (const char* name : kNewKernels) {
+    const auto k = kernels::make_kernel(name);
+    const int repeats = default_repeats(name) / 8;
+    const auto base = kernels::run_baseline(*k, repeats);
+    const auto spu =
+        kernels::run_spu(*k, repeats, core::kConfigA, kernels::SpuMode::Manual);
+    const auto aut =
+        kernels::run_spu(*k, repeats, core::kConfigA, kernels::SpuMode::Auto);
+    check(base.verified, std::string(name) + " baseline");
+    check(spu.verified, std::string(name) + " manual SPU");
+    check(aut.verified, std::string(name) + " auto SPU");
+    // Every MMIO store is the second half of a li/st32 pair emitted by the
+    // programming prologue (plus one pair per GO) — the executed setup.
+    const uint64_t setup = 2 * spu.stats.spu_mmio_stores;
+    t.add_row({name, std::to_string(repeats),
+               std::to_string(base.stats.mmx_permutation),
+               std::to_string(spu.stats.mmx_permutation),
+               std::to_string(base.stats.mmx_permutation -
+                              spu.stats.mmx_permutation),
+               std::to_string(setup), std::to_string(base.stats.cycles),
+               std::to_string(spu.stats.cycles),
+               prof::fixed(static_cast<double>(base.stats.cycles) /
+                               static_cast<double>(spu.stats.cycles),
+                           3),
+               std::to_string(aut.orchestration
+                                  ? aut.orchestration->removed_static
+                                  : 0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Reading: the setup instructions are paid once per block batch; the "
+      "removed\npermutations are paid per iteration — the prologue "
+      "amortizes exactly as the\npaper's §4 startup-cost analysis "
+      "predicts, on workloads the paper never ran.\n\n");
+
+  // Part 2: the batch engine picks the new kernels up from the registry
+  // with no special-casing; the cache must absorb the re-preparations.
+  constexpr int kCopies = 20;
+  std::vector<runtime::KernelJob> jobs;
+  for (int c = 0; c < kCopies; ++c) {
+    for (const char* name : kNewKernels) {
+      for (const auto& cfg : {core::kConfigA, core::kConfigD}) {
+        for (const auto mode :
+             {kernels::SpuMode::Manual, kernels::SpuMode::Auto}) {
+          runtime::KernelJob j;
+          j.kernel = name;
+          j.repeats = 2;
+          j.use_spu = true;
+          j.mode = mode;
+          j.cfg = cfg;
+          jobs.push_back(j);
+        }
+      }
+    }
+  }
+  runtime::BatchEngine engine({.workers = 4, .cache = nullptr});
+  const auto results = engine.run_batch(jobs);
+  for (const auto& r : results) {
+    check(r.ok && r.run.verified, "batch job (" + r.error + ")");
+  }
+  const auto s = engine.stats();
+  std::printf(
+      "Batch engine: %llu jobs over %zu distinct configurations — cache %llu "
+      "hits / %llu misses (%.1f%% hit rate)\n",
+      static_cast<unsigned long long>(s.jobs_completed),
+      jobs.size() / static_cast<size_t>(kCopies),
+      static_cast<unsigned long long>(s.cache.hits),
+      static_cast<unsigned long long>(s.cache.misses),
+      100.0 * s.cache.hit_rate());
+  check(s.cache.hit_rate() > 0.9, "orchestration-cache hit rate > 90%");
+  return 0;
+}

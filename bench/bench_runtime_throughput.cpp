@@ -1,7 +1,7 @@
 // Batch-runtime throughput: the paper's prologue-amortization economy at
 // service level.
 //
-// A fixed request mix (every Figure-9 kernel, auto-orchestrated, a handful
+// A fixed request mix (every registry kernel, auto-orchestrated, a handful
 // of distinct configurations) is pushed through the BatchEngine at
 // increasing worker counts. Two effects are on display:
 //
@@ -25,8 +25,8 @@ using Clock = std::chrono::steady_clock;
 namespace {
 
 std::vector<runtime::KernelJob> request_mix(int copies) {
-  // 8 kernels x 2 configs = 16 unique orchestrations, replicated `copies`
-  // times — a repeated-config workload like a service hot set.
+  // Every registry kernel x 2 configs, replicated `copies` times — a
+  // repeated-config workload like a service hot set.
   std::vector<runtime::KernelJob> jobs;
   for (int c = 0; c < copies; ++c) {
     for (const auto& k : kernels::all_kernels()) {
@@ -54,9 +54,10 @@ int main() {
   constexpr int kCopies = 24;
   const auto jobs = request_mix(kCopies);
   std::printf(
-      "Batch runtime throughput — %zu jobs (16 unique configurations x %d "
+      "Batch runtime throughput — %zu jobs (%zu unique configurations x %d "
       "replays)\nhardware concurrency: %u (speedup saturates there)\n\n",
-      jobs.size(), kCopies, std::thread::hardware_concurrency());
+      jobs.size(), jobs.size() / static_cast<size_t>(kCopies), kCopies,
+      std::thread::hardware_concurrency());
 
   prof::Table t({"workers", "wall ms", "jobs/s", "speedup", "cache hits",
                  "misses", "hit rate", "prep ms (sum)", "exec ms (sum)"});
@@ -91,15 +92,16 @@ int main() {
   // Cold vs warm on one engine: the amortization curve itself.
   runtime::BatchEngine warm({.workers = 4, .cache = nullptr});
   const auto cold0 = Clock::now();
-  (void)warm.run_batch(request_mix(1));
+  const auto cold_jobs = request_mix(1);
+  (void)warm.run_batch(cold_jobs);
   const double cold_ms = ms_since(cold0);
   const auto warm0 = Clock::now();
   (void)warm.run_batch(request_mix(1));
   const double warm_ms = ms_since(warm0);
   std::printf(
-      "Cold pass (16 jobs, every config orchestrated): %.1f ms; warm pass "
+      "Cold pass (%zu jobs, every config orchestrated): %.1f ms; warm pass "
       "(all cached): %.1f ms (%.2fx)\n\n",
-      cold_ms, warm_ms, cold_ms / warm_ms);
+      cold_jobs.size(), cold_ms, warm_ms, cold_ms / warm_ms);
 
   std::printf(
       "Reading: each unique (kernel, size, crossbar, options) is "

@@ -19,7 +19,7 @@ int main() {
                  "MMX busy (base)", "MMX busy (SPU)", "scaled MMX",
                  "scaled MMX+SPU"});
 
-  for (const auto& k : kernels::all_kernels()) {
+  for (const auto& k : paper_kernels()) {
     const int repeats = default_repeats(k->name());
     const auto base = kernels::run_baseline(*k, repeats);
     const auto spu =

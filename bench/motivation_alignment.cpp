@@ -16,7 +16,7 @@ int main() {
   prof::Table t({"Algorithm", "instructions", "permutation instrs",
                  "alignment fraction", "of MMX instrs"});
   double total_instr = 0, total_perm = 0;
-  for (const auto& k : kernels::all_kernels()) {
+  for (const auto& k : paper_kernels()) {
     const auto run = kernels::run_baseline(*k, default_repeats(k->name()));
     check(run.verified, k->name());
     total_instr += static_cast<double>(run.stats.instructions);

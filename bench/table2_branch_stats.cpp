@@ -14,7 +14,7 @@ int main() {
       "magnitudes)\n\n");
   prof::Table t({"Media Algorithm", "Clocks Executed", "Branches",
                  "Missed Branches", "Missed %", "Benchmark Description"});
-  for (const auto& k : kernels::all_kernels()) {
+  for (const auto& k : paper_kernels()) {
     const int repeats = default_repeats(k->name());
     const auto run = kernels::run_baseline(*k, repeats);
     check(run.verified, k->name());

@@ -13,7 +13,7 @@ int main() {
       "(permutation instructions off-loaded to the SPU controller)\n\n");
   prof::Table t({"Media Algorithm", "Cycles Overlapped", "% MMX Instr",
                  "Total Instr", "Permutes removed", "of baseline permutes"});
-  for (const auto& k : kernels::all_kernels()) {
+  for (const auto& k : paper_kernels()) {
     const int repeats = default_repeats(k->name());
     const auto base = kernels::run_baseline(*k, repeats);
     const auto spu =

@@ -1,0 +1,110 @@
+// video_pipeline.cpp — a three-stage video pipeline on the batch runtime.
+//
+// Each simulated frame flows through the classic encoder front end:
+//
+//   RGB -> YCbCr color conversion  ->  3x3 2D convolution (filtering)
+//                                  ->  16x16 SAD motion estimation
+//
+// Every stage is a registry kernel, so the whole pipeline is just three
+// KernelJobs per frame pushed through one BatchEngine. The interesting
+// economics: the three stages are re-orchestrated exactly once for the
+// whole stream (the OrchestrationCache serves every later frame), and the
+// engine overlaps stages and frames freely across its workers — in the
+// simulator each kernel owns its deterministic workload, so stages carry
+// no data dependence; a real pipeline would chain each stage's output
+// buffer into the next and submit a frame's stages as they become ready.
+//
+// Usage: video_pipeline [num_frames] [num_workers]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "runtime/batch_engine.h"
+
+using namespace subword;
+
+namespace {
+
+struct Stage {
+  const char* kernel;
+  kernels::SpuMode mode;
+};
+
+constexpr Stage kStages[] = {
+    {"Color Convert", kernels::SpuMode::Manual},
+    {"2D Convolution", kernels::SpuMode::Manual},
+    {"Motion Estimation", kernels::SpuMode::Manual},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 48;
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  runtime::BatchEngine engine({.workers = workers, .cache = nullptr});
+  std::printf("video_pipeline: %d frames, 3 stages/frame, %d workers\n\n",
+              frames, engine.workers());
+
+  struct PerStage {
+    uint64_t cycles = 0;
+    uint64_t routed = 0;
+    uint64_t hits = 0;
+    uint64_t jobs = 0;
+  };
+  PerStage per[3];
+  int failures = 0;
+
+  // Submit the whole stream up front; the workers drain it concurrently.
+  std::vector<std::future<runtime::JobResult>> inflight;
+  inflight.reserve(static_cast<size_t>(frames) * 3);
+  for (int f = 0; f < frames; ++f) {
+    for (int s = 0; s < 3; ++s) {
+      runtime::KernelJob job;
+      job.kernel = kStages[s].kernel;
+      job.repeats = 1;
+      job.use_spu = true;
+      job.mode = kStages[s].mode;
+      job.cfg = core::kConfigD;  // the cheapest realizable configuration
+      inflight.push_back(engine.submit(std::move(job)));
+    }
+  }
+  for (size_t i = 0; i < inflight.size(); ++i) {
+    const int f = static_cast<int>(i) / 3;
+    const int s = static_cast<int>(i) % 3;
+    auto r = inflight[i].get();
+    if (!r.ok || !r.run.verified) {
+      ++failures;
+      std::fprintf(stderr, "frame %d stage %s failed: %s\n", f,
+                   kStages[s].kernel, r.error.c_str());
+      continue;
+    }
+    per[s].cycles += r.run.stats.cycles;
+    per[s].routed += r.run.stats.spu_routed_ops;
+    per[s].hits += r.cache_hit ? 1 : 0;
+    ++per[s].jobs;
+  }
+  engine.shutdown();
+
+  std::printf("%-20s %8s %14s %14s %12s\n", "stage", "frames", "sim cycles",
+              "routed opnds", "cache hits");
+  for (int s = 0; s < 3; ++s) {
+    std::printf("%-20s %8llu %14llu %14llu %12llu\n", kStages[s].kernel,
+                static_cast<unsigned long long>(per[s].jobs),
+                static_cast<unsigned long long>(per[s].cycles),
+                static_cast<unsigned long long>(per[s].routed),
+                static_cast<unsigned long long>(per[s].hits));
+  }
+
+  const auto st = engine.stats();
+  std::printf(
+      "\ntotals: %llu stage executions, cache %llu hits / %llu misses "
+      "(%.1f%% hit rate)\neach stage was prepared once for the whole "
+      "stream; every other frame replayed it.\n",
+      static_cast<unsigned long long>(st.jobs_completed),
+      static_cast<unsigned long long>(st.cache.hits),
+      static_cast<unsigned long long>(st.cache.misses),
+      100.0 * st.cache.hit_rate());
+  return failures == 0 ? 0 : 1;
+}

@@ -13,6 +13,21 @@
 //
 // A Route assigns each output byte either a source byte address in the SPU
 // register or "straight" (the architecturally named operand byte).
+//
+// Paper correspondence: §3 (the folded crossbar and its operand-bus
+// attachment), Table 1 (configurations A–D and their area/delay, modeled
+// in src/hw/cost_model.*), Figure 6 (the per-state interconnect control
+// word whose width route_field_bits() computes), §6 (the optional
+// zero/sign-extension modes behind `modes`).
+//
+// Invariants:
+//  * A Route is pure data; validity is relative to a configuration and is
+//    checked by route_violation() — 16-bit-port configurations require
+//    aligned half-word pairs on both sides, and source addresses must lie
+//    inside the configuration's input window (B/D reach only MM0..MM3).
+//  * apply_route() never writes the register file: routing substitutes
+//    operand *fetches* only, which is why a routed program's
+//    architectural results are bit-identical to the baseline's.
 #pragma once
 
 #include <array>

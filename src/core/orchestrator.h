@@ -15,6 +15,24 @@
 // The transformed program must be run on a Machine with a Spu installed
 // (attach_spu below); it produces bit-identical architectural results while
 // the deleted permutations are performed by the SPU interconnect.
+//
+// Paper correspondence: §4 (automated SPU code generation, startup-cost
+// accounting), Figure 7 (the one-state-per-instruction loop microprogram
+// shape the rewriter emits), §5.2.1 (the manual variants this pass is
+// measured against).
+//
+// Invariants:
+//  * Soundness over speed: a permutation is deleted only when the
+//    provenance analysis proves every consumed byte is still live at its
+//    producing location under the chosen crossbar configuration; anything
+//    unprovable stays in the instruction stream (see
+//    AutoOrchestration.VerifiesOnEveryKernel).
+//  * run() never mutates its input Program; the result owns a rewritten
+//    copy plus the per-context microprograms, and an OrchestrationResult
+//    is immutable afterwards — the runtime layer shares it across threads
+//    by shared_ptr<const> without locking.
+//  * R14/R15 are reserved for the injected MMIO prologue; programs that
+//    touch them are rejected (throw), never silently corrupted.
 #pragma once
 
 #include <cstdint>

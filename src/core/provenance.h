@@ -13,6 +13,19 @@
 // the source register). Pure byte-rearranging instructions — register
 // moves and the six PUNPCK forms — propagate locations; everything else
 // (arithmetic, packs with saturation, loads) defines fresh locations.
+//
+// Paper correspondence: §4's claim that SPU routes can replace the
+// "overhead instructions" of §2/Figure 1; the crossbar window limits of
+// Table 1 (a route is only legal if every source byte lies inside the
+// configuration's input window, checked via route_violation).
+//
+// Invariants:
+//  * The analysis is per-iteration: locations die at any intervening
+//    write to their register, and a candidate whose source crosses the
+//    loop back-edge is never routed (conservative, soundness first).
+//  * PACK* are never candidates — they saturate, so they are value
+//    transformations, not byte rearrangements (locked by
+//    KernelStructure.SaturatingPacksAreNeverRemoved).
 #pragma once
 
 #include <array>

@@ -10,6 +10,22 @@
 // the configuration register selects the context and sets GO (paper §3:
 // "several copies of the SPU control registers, allowing for fast context
 // switching").
+//
+// Paper correspondence: §3 (the decoupled micro-programmed controller and
+// its counters), Figure 7 (the loop-shaped state chain), §4 (GO/stop
+// discipline around exceptions, exercised in test_integration).
+//
+// Invariants:
+//  * Lock-step: the controller advances exactly once per retired
+//    instruction while GO is set — microprograms are built one state per
+//    loop-body instruction (scalar instructions included), and counters
+//    exhaust exactly at the loop's last retirement.
+//  * The activating MMIO store itself does not step the controller
+//    (arm_activation_skip), so state 0 aligns with the first loop-body
+//    instruction after GO.
+//  * While idle/stopped the router passes operands through unrouted;
+//    go() re-validates the selected context against the crossbar
+//    configuration and throws rather than route an illegal program.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,35 @@
+// color_convert.h — RGB -> YCbCr 4:4:4 color-space conversion, interleaved
+// input to planar output (the IPP ippiRGBToYCbCr-style routine).
+//
+// Baseline: the three-channel deinterleave is the whole story. Pulling
+// R/G/B vectors for four pixels out of three interleaved quadwords costs a
+// 24-instruction unpack/shift/copy cascade (17 of them permutation class)
+// per iteration — stride-3 data is the worst case for MMX's power-of-two
+// unpack tree, exactly the "data reorganization dominates" premise of the
+// paper. The arithmetic itself (three dot products against broadcast
+// coefficient quadwords) has no permutation work at all.
+//
+// SPU variant: the entire cascade collapses into three MOVQ gathers whose
+// source operands are routed word-by-word from the loaded quadwords
+// (MM0..MM2, realizable under configuration D). 24 instructions become 3;
+// the arithmetic is unchanged.
+#pragma once
+
+#include "kernels/kernel.h"
+
+namespace subword::kernels {
+
+class ColorConvertKernel final : public MediaKernel {
+ public:
+  static constexpr int kPixels = 256;  // per block, 4 per iteration
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string description() const override;
+  [[nodiscard]] isa::Program build_mmx(int repeats) const override;
+  [[nodiscard]] std::optional<isa::Program> build_spu(
+      const core::CrossbarConfig& cfg, int repeats) const override;
+  void init_memory(sim::Memory& mem) const override;
+  [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+};
+
+}  // namespace subword::kernels

@@ -2,11 +2,14 @@
 
 #include <stdexcept>
 
+#include "kernels/color_convert.h"
+#include "kernels/conv2d.h"
 #include "kernels/dct.h"
 #include "kernels/fft.h"
 #include "kernels/fir.h"
 #include "kernels/iir.h"
 #include "kernels/matmul.h"
+#include "kernels/motion_est.h"
 #include "kernels/transpose.h"
 
 namespace subword::kernels {
@@ -21,6 +24,11 @@ std::vector<std::unique_ptr<MediaKernel>> all_kernels() {
   v.push_back(std::make_unique<DctKernel>());
   v.push_back(std::make_unique<MatMulKernel>());
   v.push_back(std::make_unique<TransposeKernel>());
+  // Extended media suite (beyond the paper's Figure 9): the video-pipeline
+  // workloads from the comparative SIMD-scheduling literature.
+  v.push_back(std::make_unique<MotionEstKernel>());
+  v.push_back(std::make_unique<ColorConvertKernel>());
+  v.push_back(std::make_unique<Conv2dKernel>());
   return v;
 }
 

@@ -1,4 +1,9 @@
-// registry.h — the paper's Figure-9 benchmark suite.
+// registry.h — the kernel registry: the paper's Figure-9 benchmark suite
+// plus the extended media workloads added on top of it.
+//
+// Every consumer (runner, batch engine, tests, benches, the README table)
+// discovers kernels through this registry — adding a kernel here is the
+// single registration step (see docs/ADDING_A_KERNEL.md).
 #pragma once
 
 #include <memory>
@@ -8,10 +13,15 @@
 
 namespace subword::kernels {
 
-// All eight kernels in the paper's Figure 9 order:
-// FIR12, FIR22, IIR, FFT1024, FFT128, DCT, Matrix Multiply, Matrix
-// Transpose.
+// The paper's eight kernels in Figure 9 order — FIR12, FIR22, IIR,
+// FFT1024, FFT128, DCT, Matrix Multiply, Matrix Transpose — followed by
+// the extended suite: Motion Estimation (SAD), Color Convert (RGB->YCbCr),
+// 2D Convolution.
 [[nodiscard]] std::vector<std::unique_ptr<MediaKernel>> all_kernels();
+
+// Number of leading entries of all_kernels() that reproduce the paper's
+// Figure 9 (the paper-parity benches iterate only these).
+inline constexpr size_t kPaperSuiteSize = 8;
 
 // Lookup by name (throws std::out_of_range when unknown).
 [[nodiscard]] std::unique_ptr<MediaKernel> make_kernel(

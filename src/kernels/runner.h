@@ -7,6 +7,28 @@
 // safe to replay concurrently from many threads; src/runtime caches them so
 // the prepare cost is paid once per unique configuration — the paper's
 // prologue-amortization economy lifted to service level.
+//
+// Thread-safety and ownership contracts (established in the batch-runtime
+// PR, relied on by src/runtime):
+//  * prepare_* are pure functions of their arguments: no shared state, so
+//    any thread may prepare any kernel concurrently. Registry lookups
+//    (kernels/registry.h) construct fresh MediaKernel instances per call
+//    and are likewise safe from any thread; a MediaKernel itself is
+//    stateless after construction and const-usable concurrently.
+//  * PreparedProgram members are written once during prepare and never
+//    mutated afterwards. `program` and `orchestration` are
+//    shared_ptr<const ...>; for the Auto path `program` aliases into the
+//    OrchestrationResult, so the analysis product lives exactly as long
+//    as any executor still holds the program — KernelRun::orchestration
+//    shares rather than copies it for the same reason.
+//  * execute_prepared may be called concurrently for the same
+//    PreparedProgram from many threads: it only reads the prepared state.
+//    The optional `scratch` Machine is the *caller's* exclusive resource
+//    (one per worker thread in the batch engine): Machine::reset is not
+//    thread-safe and must never race with run(). execute_prepared
+//    guarantees a borrowed scratch machine is returned with its router
+//    and device window detached — even on exception unwind — so the next
+//    job never sees a dangling Spu pointer.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,25 @@
+#include "ref/ref_conv2d.h"
+
+namespace subword::ref {
+
+std::vector<int16_t> conv2d_3x3(std::span<const int16_t> in, size_t in_w,
+                                size_t in_h, std::span<const int16_t> k,
+                                size_t out_w, int shift) {
+  const size_t out_h = in_h - 2;
+  std::vector<int16_t> out(out_w * out_h);
+  for (size_t y = 0; y < out_h; ++y) {
+    for (size_t x = 0; x < out_w; ++x) {
+      int acc = 0;
+      for (size_t dy = 0; dy < 3; ++dy) {
+        for (size_t dx = 0; dx < 3; ++dx) {
+          acc += static_cast<int>(k[3 * dy + dx]) *
+                 static_cast<int>(in[(y + dy) * in_w + (x + dx)]);
+        }
+      }
+      out[y * out_w + x] = static_cast<int16_t>(acc >> shift);
+    }
+  }
+  return out;
+}
+
+}  // namespace subword::ref

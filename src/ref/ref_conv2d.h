@@ -1,0 +1,27 @@
+// ref_conv2d.h — scalar golden 2D convolution (3x3, valid region).
+//
+// Semantics contract shared with the MMX kernel (kernels/conv2d.h):
+//   out[y][x] = ( sum_{dy,dx} k[dy][dx] * in[y+dy][x+dx] ) >> shift
+// for y in [0, in_h-3], x in [0, out_w), with a truncating arithmetic
+// shift. Accumulation is wrapping 16-bit (PMULLW/PADDW) — the workloads
+// keep |coeff| <= 8 and pixels in 0..255 so no lane ever wraps, and the
+// scalar int arithmetic below is bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace subword::ref {
+
+// `in` is row-major in_w x in_h; `k` is a row-major 3x3 kernel. Produces
+// out_w x (in_h-2) outputs where out_w <= in_w-2 (the kernel's vector
+// width may not cover the whole valid region; the MMX kernel computes
+// out_w = 16 from a 20-wide input).
+[[nodiscard]] std::vector<int16_t> conv2d_3x3(std::span<const int16_t> in,
+                                              size_t in_w, size_t in_h,
+                                              std::span<const int16_t> k,
+                                              size_t out_w, int shift);
+
+}  // namespace subword::ref

@@ -1,0 +1,24 @@
+#include "ref/ref_sad.h"
+
+#include <cstdlib>
+
+namespace subword::ref {
+
+std::vector<int16_t> sad_blocks(std::span<const uint8_t> cur,
+                                std::span<const uint8_t> cands,
+                                size_t block_elems, size_t num_cands) {
+  std::vector<int16_t> out(num_cands);
+  for (size_t c = 0; c < num_cands; ++c) {
+    uint32_t acc = 0;
+    for (size_t i = 0; i < block_elems; ++i) {
+      const int d = static_cast<int>(cur[i]) -
+                    static_cast<int>(cands[c * block_elems + i]);
+      acc += static_cast<uint32_t>(std::abs(d));
+      if (acc > 0xFFFFu) acc = 0xFFFFu;  // PADDUSW saturation point
+    }
+    out[c] = static_cast<int16_t>(static_cast<uint16_t>(acc));
+  }
+  return out;
+}
+
+}  // namespace subword::ref

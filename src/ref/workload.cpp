@@ -27,6 +27,20 @@ std::vector<int16_t> make_matrix(size_t rows, size_t cols, uint64_t seed,
   return out;
 }
 
+std::vector<uint8_t> make_bytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& v : out) v = static_cast<uint8_t>(rng.range(0, 255));
+  return out;
+}
+
+std::vector<int16_t> make_pixels(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int16_t> out(n);
+  for (auto& v : out) v = static_cast<int16_t>(rng.range(0, 255));
+  return out;
+}
+
 std::vector<int16_t> make_twiddles(size_t n) {
   std::vector<int16_t> out(n / 2 * 2);  // interleaved (cos, -sin)
   constexpr double kPi = 3.14159265358979323846;

@@ -52,6 +52,14 @@ class Rng {
                                                uint64_t seed,
                                                int16_t amplitude = 1000);
 
+// 8-bit pixels (video-like, full 0..255 range) — byte workloads such as
+// SAD motion estimation.
+[[nodiscard]] std::vector<uint8_t> make_bytes(size_t n, uint64_t seed);
+
+// Pixels widened to 16-bit lanes (still 0..255) — the layout the 16-bit
+// color-conversion and convolution kernels consume.
+[[nodiscard]] std::vector<int16_t> make_pixels(size_t n, uint64_t seed);
+
 // Q15 cosine table: cos(2*pi*k/n) for k in [0, n/2), used by the FFT
 // kernel and its reference.
 [[nodiscard]] std::vector<int16_t> make_twiddles(size_t n);

@@ -39,7 +39,7 @@ TEST(AutoOrchestration, Fir12MergedReduceIsCorrectlyRejected) {
 }
 
 TEST(AutoOrchestration, VerifiesOnEveryKernel) {
-  // The automatic pass must at minimum be *sound* on all eight kernels —
+  // The automatic pass must at minimum be *sound* on every registry kernel —
   // whatever it fails to remove, it must never corrupt.
   for (const auto& k : kernels::all_kernels()) {
     const auto run = kernels::run_spu(*k, 1, kConfigA, SpuMode::Auto);

@@ -34,6 +34,9 @@ constexpr Shape kShapes[] = {
     {"DCT", 214, 172, 52, 8, 436, 132, 12},
     {"Matrix Multiply", 51, 38, 5, 3, 176, 33, 0},
     {"Matrix Transpose", 33, 20, 12, 3, 97, 12, 4},
+    {"Motion Estimation", 67, 53, 18, 3, 259, 41, 8},
+    {"Color Convert", 77, 63, 17, 2, 184, 42, 3},
+    {"2D Convolution", 77, 64, 12, 3, 197, 40, 6},
 };
 
 }  // namespace

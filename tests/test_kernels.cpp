@@ -68,8 +68,11 @@ INSTANTIATE_TEST_SUITE_P(AllKernels, BaselineKernel,
                          });
 
 TEST(Registry, HasPaperSuite) {
+  // The paper's Figure-9 suite must stay first and in paper order; the
+  // extended media workloads follow it.
   const auto names = kernel_names();
-  ASSERT_EQ(names.size(), 8u);
+  ASSERT_EQ(names.size(), 11u);
+  ASSERT_EQ(kPaperSuiteSize, 8u);
   EXPECT_EQ(names[0], "FIR12");
   EXPECT_EQ(names[1], "FIR22");
   EXPECT_EQ(names[2], "IIR");
@@ -78,6 +81,9 @@ TEST(Registry, HasPaperSuite) {
   EXPECT_EQ(names[5], "DCT");
   EXPECT_EQ(names[6], "Matrix Multiply");
   EXPECT_EQ(names[7], "Matrix Transpose");
+  EXPECT_EQ(names[8], "Motion Estimation");
+  EXPECT_EQ(names[9], "Color Convert");
+  EXPECT_EQ(names[10], "2D Convolution");
 }
 
 TEST(Registry, UnknownKernelThrows) {

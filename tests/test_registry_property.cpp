@@ -1,0 +1,76 @@
+// Registry-wide property tests: every registered kernel — present and
+// future — must round-trip bit-exactly against its scalar reference on
+// randomized problem sizes, through every execution path (baseline MMX,
+// hand-written SPU, automatic orchestration). A kernel registered without
+// a golden reference, or whose SPU variant diverges at some repeat count,
+// fails here even if no kernel-specific test was written for it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "kernels/registry.h"
+#include "kernels/runner.h"
+#include "ref/workload.h"
+
+using namespace subword;
+using namespace subword::kernels;
+using subword::core::kConfigA;
+using subword::core::kConfigD;
+
+namespace {
+
+std::vector<std::string> kernel_names() {
+  std::vector<std::string> names;
+  for (const auto& k : all_kernels()) names.push_back(k->name());
+  return names;
+}
+
+}  // namespace
+
+class RegistryProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryProperty, RefVsSwarBitExactOnRandomSizes) {
+  const auto k = make_kernel(GetParam());
+  ref::Rng rng(0x52454749 ^ std::hash<std::string>{}(GetParam()));
+  for (int draw = 0; draw < 3; ++draw) {
+    const int repeats = rng.range(1, 5);
+    const auto run = run_baseline(*k, repeats);
+    EXPECT_TRUE(run.verified)
+        << k->name() << " baseline diverges at repeats=" << repeats;
+  }
+}
+
+TEST_P(RegistryProperty, SpuPathsBitExactOnRandomSizes) {
+  const auto k = make_kernel(GetParam());
+  ref::Rng rng(0x53505552 ^ std::hash<std::string>{}(GetParam()));
+  const int repeats = rng.range(1, 4);
+  const auto manual = run_spu(*k, repeats, kConfigA, SpuMode::Manual);
+  EXPECT_TRUE(manual.verified)
+      << k->name() << " manual SPU diverges at repeats=" << repeats;
+  const auto manual_d = run_spu(*k, repeats, kConfigD, SpuMode::Manual);
+  EXPECT_TRUE(manual_d.verified)
+      << k->name() << " manual SPU (config D) diverges at repeats="
+      << repeats;
+  const auto aut = run_spu(*k, repeats, kConfigA, SpuMode::Auto);
+  EXPECT_TRUE(aut.verified)
+      << k->name() << " auto orchestration diverges at repeats=" << repeats;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, RegistryProperty,
+                         ::testing::ValuesIn(kernel_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n) {
+                             if (ch == ' ') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(RegistryProperty, NamesAreUniqueAndLookupRoundTrips) {
+  const auto names = kernel_names();
+  for (const auto& n : names) {
+    EXPECT_EQ(make_kernel(n)->name(), n);
+    EXPECT_EQ(std::count(names.begin(), names.end(), n), 1) << n;
+  }
+}
