@@ -1,9 +1,15 @@
 // bench_common.h — shared plumbing for the table/figure reproduction
-// binaries. Each bench prints the paper's rows from live simulation.
+// binaries. Each bench prints the paper's rows from live simulation, and
+// (with --json) also emits a machine-readable BENCH_<name>.json so CI can
+// track the perf trajectory across commits.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "kernels/registry.h"
 #include "kernels/runner.h"
@@ -11,6 +17,68 @@
 #include "profile/table.h"
 
 namespace subword::bench {
+
+// True when the bench was invoked with --json.
+inline bool want_json(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return false;
+}
+
+// Minimal JSON emitter for flat bench records: each record is an ordered
+// list of (key, pre-rendered JSON literal) pairs; write() produces
+// BENCH_<name>.json in the working directory.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] static std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+  }
+  [[nodiscard]] static std::string num(uint64_t v) { return std::to_string(v); }
+  [[nodiscard]] static std::string num(int v) { return std::to_string(v); }
+  [[nodiscard]] static std::string str(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  void record(std::vector<std::pair<std::string, std::string>> fields) {
+    records_.push_back(std::move(fields));
+  }
+
+  // Returns the path written, or an empty string on I/O failure.
+  std::string write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
+                 name_.c_str());
+    for (size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "    {");
+      for (size_t i = 0; i < records_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     records_[r][i].first.c_str(),
+                     records_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 // The paper-parity slice of the registry (Figure 9 / Table 2/3 benches
 // reproduce the paper's rows; the extended workloads have no paper

@@ -50,7 +50,7 @@ double ms_since(Clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kCopies = 24;
   const auto jobs = request_mix(kCopies);
   std::printf(
@@ -61,6 +61,7 @@ int main() {
 
   prof::Table t({"workers", "wall ms", "jobs/s", "speedup", "cache hits",
                  "misses", "hit rate", "prep ms (sum)", "exec ms (sum)"});
+  BenchJson json("runtime_throughput");
   double base_ms = 0.0;
   double final_hit_rate = 0.0;
   for (const int workers : {1, 2, 4, 8}) {
@@ -86,6 +87,21 @@ int main() {
                std::to_string(s.cache.misses), prof::pct(final_hit_rate, 1),
                prof::fixed(static_cast<double>(prep_ns) / 1e6, 1),
                prof::fixed(static_cast<double>(exec_ns) / 1e6, 1)});
+    json.record(
+        {{"kind", BenchJson::str("scaling")},
+         {"workers", BenchJson::num(workers)},
+         {"jobs", BenchJson::num(static_cast<uint64_t>(jobs.size()))},
+         {"wall_ms", BenchJson::num(wall)},
+         {"jobs_per_s",
+          BenchJson::num(1000.0 * static_cast<double>(jobs.size()) / wall)},
+         {"speedup_vs_1_worker", BenchJson::num(base_ms / wall)},
+         {"cache_hits", BenchJson::num(s.cache.hits)},
+         {"cache_misses", BenchJson::num(s.cache.misses)},
+         {"hit_rate", BenchJson::num(final_hit_rate)},
+         {"prepare_ms_sum",
+          BenchJson::num(static_cast<double>(prep_ns) / 1e6)},
+         {"execute_ms_sum",
+          BenchJson::num(static_cast<double>(exec_ns) / 1e6)}});
   }
   std::printf("%s\n", t.render().c_str());
 
@@ -102,6 +118,16 @@ int main() {
       "Cold pass (%zu jobs, every config orchestrated): %.1f ms; warm pass "
       "(all cached): %.1f ms (%.2fx)\n\n",
       cold_jobs.size(), cold_ms, warm_ms, cold_ms / warm_ms);
+  json.record({{"kind", BenchJson::str("amortization")},
+               {"jobs", BenchJson::num(static_cast<uint64_t>(cold_jobs.size()))},
+               {"cold_ms", BenchJson::num(cold_ms)},
+               {"warm_ms", BenchJson::num(warm_ms)},
+               {"cold_over_warm", BenchJson::num(cold_ms / warm_ms)}});
+  if (want_json(argc, argv)) {
+    const auto path = json.write();
+    check(!path.empty(), "writing BENCH_runtime_throughput.json");
+    std::printf("wrote %s\n", path.c_str());
+  }
 
   std::printf(
       "Reading: each unique (kernel, size, crossbar, options) is "

@@ -1,5 +1,7 @@
 // Figure 9 reproduction: cycles executed on the MMX and on MMX+SPU for the
 // eight IPP-style kernels, with the MMX-busy fraction (the hashed bars).
+// With --json, also writes BENCH_fig9.json for the CI perf-trajectory
+// artifact.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -7,7 +9,7 @@
 using namespace subword;
 using namespace subword::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "Figure 9 — Cycles executed on MMX and MMX+SPU (Intel IPP-style "
       "media routines)\n"
@@ -19,6 +21,7 @@ int main() {
                  "MMX busy (base)", "MMX busy (SPU)", "scaled MMX",
                  "scaled MMX+SPU"});
 
+  BenchJson json("fig9");
   for (const auto& k : paper_kernels()) {
     const int repeats = default_repeats(k->name());
     const auto base = kernels::run_baseline(*k, repeats);
@@ -38,8 +41,22 @@ int main() {
                prof::pct(s.mmx_busy_spu, 1),
                prof::sci(static_cast<double>(base.stats.cycles) * scale),
                prof::sci(static_cast<double>(spu.stats.cycles) * scale)});
+    json.record({{"kernel", BenchJson::str(k->name())},
+                 {"repeats", BenchJson::num(repeats)},
+                 {"mmx_cycles", BenchJson::num(base.stats.cycles)},
+                 {"spu_cycles", BenchJson::num(spu.stats.cycles)},
+                 {"speedup_pct", BenchJson::num((s.speedup - 1.0) * 100.0)},
+                 {"mmx_busy_baseline", BenchJson::num(s.mmx_busy_baseline)},
+                 {"mmx_busy_spu", BenchJson::num(s.mmx_busy_spu)},
+                 {"routed_operands",
+                  BenchJson::num(spu.stats.spu_routed_ops)}});
   }
   std::printf("%s\n", t.render().c_str());
+  if (want_json(argc, argv)) {
+    const auto path = json.write();
+    check(!path.empty(), "writing BENCH_fig9.json");
+    std::printf("wrote %s\n", path.c_str());
+  }
   std::printf(
       "Paper claim: speedups between 4%% and 20%%; FFT/IIR smallest "
       "(poor MMX\nutilization), DCT / Matrix Multiply / Matrix Transpose "

@@ -1,20 +1,22 @@
-// batch_service.cpp — a toy media service built on the batch runtime.
+// batch_service.cpp — a toy media service built on the api:: facade.
 //
 // Simulates a request stream: clients ask for kernels by name with a
 // problem size and a crossbar configuration, drawn from a small hot set
 // with a deterministic pseudo-random mixer (the shape of real traffic:
-// many requests, few distinct configurations). The BatchEngine fans the
-// stream across workers; the orchestration cache means the orchestrator's
-// analysis runs once per distinct configuration, no matter the volume.
+// many requests, few distinct configurations). The Session fans the
+// stream across its workers; the shared orchestration cache means the
+// orchestrator's analysis runs once per distinct configuration, no matter
+// the volume — every outcome arrives as a Result, never an exception.
 //
 // Usage: batch_service [num_requests] [num_workers]
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "runtime/batch_engine.h"
+#include "api/session.h"
 
 using namespace subword;
 
@@ -34,28 +36,30 @@ int main(int argc, char** argv) {
       {"IIR", 1, core::kConfigA},    {"FFT128", 1, core::kConfigC},
   };
 
-  runtime::BatchEngine engine({.workers = workers, .cache = nullptr});
+  api::Session session({.workers = workers, .cache = nullptr});
   std::printf("batch_service: %d requests over %d workers, hot set of %zu "
               "configurations\n\n",
-              requests, engine.workers(), hot_set.size());
+              requests, session.workers(), hot_set.size());
 
   // Deterministic LCG so runs are reproducible.
   uint64_t seed = 0x5DEECE66Dull;
-  std::vector<std::future<runtime::JobResult>> inflight;
-  std::vector<size_t> picked;
+  std::vector<std::pair<size_t, api::Submitted>> inflight;
   inflight.reserve(static_cast<size_t>(requests));
   for (int i = 0; i < requests; ++i) {
     seed = seed * 6364136223846793005ull + 1442695040888963407ull;
     const size_t pick = static_cast<size_t>((seed >> 33) % hot_set.size());
     const auto& e = hot_set[pick];
-    runtime::KernelJob job;
-    job.kernel = e.kernel;
-    job.repeats = e.repeats;
-    job.use_spu = true;
-    job.mode = kernels::SpuMode::Auto;
-    job.cfg = e.cfg;
-    picked.push_back(pick);
-    inflight.push_back(engine.submit(std::move(job)));
+    auto submitted = session.request(e.kernel)
+                         .repeats(e.repeats)
+                         .spu(e.cfg)
+                         .auto_orchestrate()
+                         .submit();
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "submit %d failed: %s\n", i,
+                   submitted.error().to_string().c_str());
+      return 1;
+    }
+    inflight.emplace_back(pick, std::move(*submitted));
   }
 
   struct PerConfig {
@@ -67,21 +71,20 @@ int main(int argc, char** argv) {
   std::map<std::string, PerConfig> per;
   int failures = 0;
   for (size_t i = 0; i < inflight.size(); ++i) {
-    auto r = inflight[i].get();
-    const auto& e = hot_set[picked[i]];
-    if (!r.ok || !r.run.verified) {
+    const auto& e = hot_set[inflight[i].first];
+    auto r = inflight[i].second.wait();
+    if (!r.ok()) {  // ok() implies bit-exact verification
       ++failures;
       std::fprintf(stderr, "request %zu (%s) failed: %s\n", i, e.kernel,
-                   r.error.c_str());
+                   r.error().to_string().c_str());
       continue;
     }
     auto& p = per[std::string(e.kernel) + "/" + std::string(e.cfg.name)];
     ++p.count;
-    p.cycles += r.run.stats.cycles;
-    if (r.cache_hit) ++p.hits;
-    p.prepare_ns += r.prepare_ns;
+    p.cycles += r->run.stats.cycles;
+    if (r->cache_hit) ++p.hits;
+    p.prepare_ns += r->prepare_ns;
   }
-  engine.shutdown();
 
   std::printf("%-28s %8s %12s %10s %14s\n", "kernel/config", "requests",
               "sim cycles", "cache hits", "prepare spent");
@@ -93,7 +96,7 @@ int main(int argc, char** argv) {
                 static_cast<double>(p.prepare_ns) / 1e6);
   }
 
-  const auto s = engine.stats();
+  const auto s = session.stats();
   std::printf(
       "\ntotals: %llu jobs, %llu simulated cycles, cache %llu hits / %llu "
       "misses (%.1f%% hit rate)\n",

@@ -1,104 +1,116 @@
-// quickstart — the paper's Figure 5 walk-through as runnable code.
+// quickstart — first contact with the subword::api facade.
 //
-// We want a*c, e*g, b*d, f*h from packed vectors [a b c d] and [e f g h].
-// On plain MMX that takes two unpack instructions per loop iteration to
-// align the sub-words; with the SPU, the orchestrator deletes them and
-// routes the multiplier's operands through the crossbar instead.
+// One Session is the whole setup: it owns the worker pool and the
+// orchestration cache. Requests are fluent builders; everything fallible
+// comes back as a Result<T>. Three things are shown here:
+//
+//   1. the paper's headline effect — the automatic orchestrator deletes a
+//      kernel's permutation instructions and routes the operands through
+//      the SPU crossbar instead (baseline vs auto-orchestrated FIR12);
+//   2. that every run is verified bit-exactly against the scalar
+//      reference as part of the response;
+//   3. user-owned buffers — the caller supplies the input samples and
+//      receives the outputs in its own memory instead of the kernel
+//      synthesizing a workload internally.
 //
 // Build & run:  ./quickstart
 #include <cstdio>
+#include <vector>
 
-#include "core/orchestrator.h"
-#include "isa/assembler.h"
-#include "isa/disasm.h"
-#include "profile/report.h"
-#include "sim/machine.h"
+#include "api/session.h"
 
 using namespace subword;
-using namespace subword::isa;
-
-namespace {
-
-Program dot_product_loop(int iterations) {
-  Assembler a;
-  a.li(R1, iterations);
-  a.li(R2, 0x1000);  // [a b c d] vectors
-  a.li(R3, 0x2000);  // [e f g h] vectors
-  a.li(R4, 0x3000);  // outputs
-  a.label("loop");
-  a.movq_load(MM0, R2, 0);
-  a.movq_load(MM1, R3, 0);
-  a.movq(MM2, MM0);
-  a.punpckhwd(MM2, MM1);  // [a e b f]   <- alignment work
-  a.movq(MM3, MM0);
-  a.punpcklwd(MM3, MM1);  // [c g d h]   <- alignment work
-  a.pmulhw(MM2, MM3);     // high halves of a*c, e*g, b*d, f*h
-  a.movq_store(R4, 0, MM2);
-  a.saddi(R2, 8);
-  a.saddi(R3, 8);
-  a.saddi(R4, 8);
-  a.loopnz(R1, "loop");
-  a.halt();
-  return a.take();
-}
-
-void fill_inputs(sim::Machine& m, int iterations) {
-  for (int i = 0; i < iterations; ++i) {
-    for (int lane = 0; lane < 4; ++lane) {
-      m.memory().write16(0x1000 + 8 * static_cast<uint64_t>(i) + 2 * static_cast<uint64_t>(lane),
-                         static_cast<uint16_t>(1000 * (lane + 1) + i));
-      m.memory().write16(0x2000 + 8 * static_cast<uint64_t>(i) + 2 * static_cast<uint64_t>(lane),
-                         static_cast<uint16_t>(2000 * (lane + 1) - i));
-    }
-  }
-}
-
-}  // namespace
 
 int main() {
-  constexpr int kIters = 64;
-  const auto program = dot_product_loop(kIters);
+  api::Session session;
 
-  std::printf("== The MMX loop (paper Figure 5) ==\n%s\n",
-              disassemble(program).c_str());
-
-  // --- plain MMX run ---------------------------------------------------------
-  sim::Machine baseline(program, 1 << 16);
-  fill_inputs(baseline, kIters);
-  baseline.run();
-  std::printf("%s\n",
-              prof::run_report("MMX only", baseline.stats()).c_str());
-
-  // --- orchestrate: delete the unpacks, program the SPU -----------------------
-  core::OrchestratorOptions opts;  // configuration A, defaults
-  core::Orchestrator orch(opts);
-  const auto result = orch.run(program);
-  std::printf("Orchestrator removed %d permutation instruction(s); "
-              "programming prologue: %d instructions\n\n",
-              result.removed_static, result.prologue_instructions);
-  std::printf("== The transformed loop ==\n%s\n",
-              disassemble(result.program).c_str());
-
-  sim::PipelineConfig pc;
-  pc.extra_spu_stage = true;
-  sim::Machine spu_machine(result.program, 1 << 16, pc);
-  auto spu = core::attach_spu(spu_machine, result, opts);
-  fill_inputs(spu_machine, kIters);
-  spu_machine.run();
-  std::printf("%s\n",
-              prof::run_report("MMX + SPU", spu_machine.stats()).c_str());
-
-  // --- results must be identical ----------------------------------------------
-  bool equal = true;
-  for (uint64_t i = 0; i < kIters * 8; ++i) {
-    if (baseline.memory().read8(0x3000 + i) !=
-        spu_machine.memory().read8(0x3000 + i)) {
-      equal = false;
-    }
+  // -- the registry is enumerable through the session ------------------------
+  std::printf("== Registered kernels ==\n");
+  for (const auto& info : session.kernels()) {
+    std::printf("  %-18s %-34s %s\n", info.name.c_str(),
+                info.description.c_str(),
+                info.paper_suite ? "[paper Fig. 9]" : "[extended]");
   }
-  const auto s = prof::summarize(baseline.stats(), spu_machine.stats());
-  std::printf("outputs identical: %s\n", equal ? "yes" : "NO (bug!)");
-  std::printf("speedup: %.1f%%  (permutation off-load %.0f%%)\n",
-              (s.speedup - 1.0) * 100.0, s.permute_offload * 100.0);
-  return equal ? 0 : 1;
+
+  // -- baseline MMX vs hand-written SPU vs automatic orchestration -----------
+  constexpr int kRepeats = 8;
+  auto base = session.request("fir22").repeats(kRepeats).baseline().run();
+  auto manual = session.request("fir22")
+                    .repeats(kRepeats)
+                    .spu(core::kConfigA)
+                    .manual_spu()
+                    .run();
+  auto autod = session.request("fir22")
+                   .repeats(kRepeats)
+                   .spu(core::kConfigA)
+                   .auto_orchestrate()
+                   .run();
+  if (!base.ok() || !manual.ok() || !autod.ok()) {
+    const auto& bad = !base.ok() ? base : (!manual.ok() ? manual : autod);
+    std::fprintf(stderr, "request failed: %s\n",
+                 bad.error().to_string().c_str());
+    return 1;
+  }
+
+  const auto speedup = [&](const api::Response& r) {
+    return 100.0 * (static_cast<double>(base->run.stats.cycles) /
+                        static_cast<double>(r.run.stats.cycles) -
+                    1.0);
+  };
+  // An ok() Response is always bit-exact against the scalar reference —
+  // a diverging run comes back as ErrorCode::kVerificationFailed instead.
+  const auto& orch = autod->run.orchestration;
+  std::printf(
+      "\n== FIR22 x%d (every run verified bit-exact vs the scalar "
+      "reference) ==\n"
+      "baseline MMX:          %7llu cycles\n"
+      "MMX + SPU (manual):    %7llu cycles (%+.1f%%)\n"
+      "MMX + SPU (auto):      %7llu cycles (%+.1f%%)\n"
+      "the orchestrator removed %d permutation instruction(s) and routed "
+      "%llu operand\nfetches through the crossbar (programming prologue: "
+      "%d instructions)\n",
+      kRepeats, static_cast<unsigned long long>(base->run.stats.cycles),
+      static_cast<unsigned long long>(manual->run.stats.cycles),
+      speedup(*manual),
+      static_cast<unsigned long long>(autod->run.stats.cycles),
+      speedup(*autod), orch ? orch->removed_static : 0,
+      static_cast<unsigned long long>(autod->run.stats.spu_routed_ops),
+      orch ? orch->prologue_instructions : 0);
+
+  // -- user-owned buffers ----------------------------------------------------
+  // The caller owns both sides: a ramp of samples in, filtered samples out.
+  const auto spec = session.kernel("fir12")->buffers;
+  std::vector<int16_t> samples(spec.input_bytes / 2);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<int16_t>(100 * (i % 32));
+  }
+  std::vector<int16_t> filtered(spec.output_bytes / 2, 0);
+  auto bound = session.request("fir12")
+                   .spu(core::kConfigA)
+                   .auto_orchestrate()
+                   .input(std::span<const int16_t>(samples))
+                   .output(std::span<int16_t>(filtered))
+                   .run();
+  if (!bound.ok()) {
+    std::fprintf(stderr, "buffer run failed: %s\n",
+                 bound.error().to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "\n== User-owned buffers ==\n"
+      "%zu caller samples in, %zu filtered samples out, verified against "
+      "the scalar\nreference computed over the caller's data\n"
+      "first outputs: %d %d %d %d\n",
+      samples.size(), filtered.size(), filtered[0], filtered[1],
+      filtered[2], filtered[3]);
+
+  // A size mismatch is a typed error, not an exception:
+  auto bad = session.request("fir12")
+                 .input(std::span<const int16_t>(samples).first(10))
+                 .run();
+  std::printf("short input buffer -> %s\n",
+              bad.ok() ? "unexpectedly ok?!"
+                       : bad.error().to_string().c_str());
+
+  return bad.ok() ? 1 : 0;  // the four ok() responses above imply verified
 }

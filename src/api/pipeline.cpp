@@ -1,0 +1,146 @@
+#include "api/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/session.h"
+#include "kernels/registry.h"
+
+namespace subword::api {
+
+Pipeline& Pipeline::then(Request stage) {
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+Pipeline& Pipeline::input(std::span<const uint8_t> bytes) {
+  input_ = bytes;
+  return *this;
+}
+
+Pipeline& Pipeline::input(std::span<const int16_t> samples) {
+  input_ = detail::as_byte_span(samples);
+  return *this;
+}
+
+Pipeline& Pipeline::output(std::span<uint8_t> bytes) {
+  output_ = bytes;
+  return *this;
+}
+
+Pipeline& Pipeline::output(std::span<int16_t> samples) {
+  output_ = detail::as_writable_byte_span(samples);
+  return *this;
+}
+
+Result<PipelineRun> Pipeline::run() {
+  if (stages_.empty()) {
+    return ApiError{ErrorCode::kInvalidArgument, "pipeline has no stages",
+                    "pipeline"};
+  }
+
+  // -- Validate the whole chain before running anything ---------------------
+  std::vector<runtime::KernelJob> jobs;
+  std::vector<kernels::BufferSpec> specs;
+  jobs.reserve(stages_.size());
+  specs.reserve(stages_.size());
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const Request& st = stages_[i];
+    const std::string context =
+        "pipeline stage " + std::to_string(i) + " (" + st.kernel_name() + ")";
+    if (st.session_ != session_) {
+      return ApiError{ErrorCode::kInvalidArgument,
+                      "stage was built on a different Session", context};
+    }
+    if (!st.buffers_.empty()) {
+      return ApiError{ErrorCode::kInvalidArgument,
+                      "stages must not bind buffers directly; the pipeline "
+                      "owns the inter-stage buffers (use Pipeline::input/"
+                      "output for the endpoints)",
+                      context};
+    }
+    auto job = st.build();
+    if (!job.ok()) return job.error();
+    const auto* info = kernels::find_kernel_info(job->kernel);
+    if (info == nullptr) {  // unreachable: build() canonicalized the name
+      return ApiError{ErrorCode::kUnknownKernel,
+                      "kernel vanished from the registry", context};
+    }
+    if (!info->buffers.supported()) {
+      return ApiError{ErrorCode::kBuffersUnsupported,
+                      "kernel does not accept user-owned buffers, so it "
+                      "cannot be a pipeline stage",
+                      context};
+    }
+    specs.push_back(info->buffers);
+    jobs.push_back(*std::move(job));
+  }
+
+  if (input_.size() != specs.front().input_bytes) {
+    return ApiError{
+        ErrorCode::kBufferSizeMismatch,
+        "pipeline input is " + std::to_string(input_.size()) +
+            " bytes, first stage wants " +
+            std::to_string(specs.front().input_bytes),
+        "pipeline stage 0 (" + jobs.front().kernel + ")"};
+  }
+  for (size_t i = 1; i < specs.size(); ++i) {
+    // A downstream stage may consume a prefix of the upstream output, but
+    // never more than the upstream produced.
+    if (specs[i - 1].output_bytes < specs[i].input_bytes) {
+      return ApiError{
+          ErrorCode::kPipelineMismatch,
+          jobs[i - 1].kernel + " produces " +
+              std::to_string(specs[i - 1].output_bytes) + " bytes but " +
+              jobs[i].kernel + " needs " +
+              std::to_string(specs[i].input_bytes),
+          "pipeline stage " + std::to_string(i)};
+    }
+  }
+  if (!output_.empty() && output_.size() != specs.back().output_bytes) {
+    return ApiError{
+        ErrorCode::kBufferSizeMismatch,
+        "pipeline output is " + std::to_string(output_.size()) +
+            " bytes, last stage produces " +
+            std::to_string(specs.back().output_bytes),
+        "pipeline stage " + std::to_string(specs.size() - 1)};
+  }
+
+  // -- Execute stage by stage (each stage depends on its predecessor) -------
+  PipelineRun out;
+  out.stages.reserve(jobs.size());
+  out.all_cache_hits = true;
+  std::vector<uint8_t> upstream;              // previous stage's output
+  std::span<const uint8_t> feed = input_;     // what the next stage reads
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const std::string kernel = jobs[i].kernel;
+    const std::string context =
+        "pipeline stage " + std::to_string(i) + " (" + kernel + ")";
+    std::vector<uint8_t> stage_out(specs[i].output_bytes);
+    jobs[i].buffers.input = feed.first(specs[i].input_bytes);
+    jobs[i].buffers.output = stage_out;
+    auto fut = session_->engine_.submit(std::move(jobs[i]));
+    // to_response maps a failed stage verification to kVerificationFailed,
+    // so an ok() response here is bit-exact for the data the stage saw.
+    auto resp = detail::to_response(fut.get(), context);
+    if (!resp.ok()) return resp.error();
+    out.total_cycles += resp->run.stats.cycles;
+    out.total_routed_operands += resp->run.stats.spu_routed_ops;
+    out.all_cache_hits = out.all_cache_hits && resp->cache_hit;
+    StageRun sr;
+    sr.kernel = kernel;
+    sr.response = *std::move(resp);
+    sr.input_bytes = specs[i].input_bytes;
+    sr.output_bytes = specs[i].output_bytes;
+    out.stages.push_back(std::move(sr));
+    upstream = std::move(stage_out);
+    feed = upstream;
+  }
+  if (!output_.empty()) {
+    std::copy(upstream.begin(), upstream.end(), output_.begin());
+  }
+  out.output = std::move(upstream);
+  return out;
+}
+
+}  // namespace subword::api

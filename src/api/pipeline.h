@@ -1,0 +1,83 @@
+// pipeline.h — ordered composition of kernel stages over user-owned
+// buffers: stage N's primary output feeds stage N+1's primary input
+// through one Session.
+//
+//   Session session;
+//   auto run = session.pipeline()
+//                  .then(session.request("Color Convert").spu(core::kConfigD))
+//                  .then(session.request("2D Convolution").spu(core::kConfigD))
+//                  .then(session.request("Motion Estimation").spu(core::kConfigD))
+//                  .input(frame_bytes)
+//                  .run();
+//
+// Data flow: the pipeline owns the intermediate buffers. A downstream
+// stage consumes a *prefix* of the upstream output when its input is
+// smaller (a 512-byte Y plane feeding a 400-byte convolution tile); an
+// upstream output smaller than the next input is a kPipelineMismatch.
+// Every stage is verified bit-exactly against its scalar reference *given
+// the data it actually received* (MediaKernel::verify_bound), so a
+// passing pipeline is end-to-end bit-exact against the composed scalar
+// references by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/request.h"
+#include "api/result.h"
+
+namespace subword::api {
+
+class Session;
+
+// Per-stage outcome: which kernel ran, the full Response (KernelRun stats,
+// cache economics), and how many upstream bytes it consumed.
+struct StageRun {
+  std::string kernel;
+  Response response;
+  size_t input_bytes = 0;   // bytes fed into this stage
+  size_t output_bytes = 0;  // bytes this stage produced
+};
+
+struct PipelineRun {
+  std::vector<StageRun> stages;
+  std::vector<uint8_t> output;      // final stage's primary output
+  uint64_t total_cycles = 0;        // summed over stages
+  uint64_t total_routed_operands = 0;
+  bool all_cache_hits = false;      // every stage replayed a cached program
+};
+
+class Pipeline {
+ public:
+  // Append a configured stage (a Request from the same Session; its
+  // terminal operations are never called — the pipeline drives it).
+  Pipeline& then(Request stage);
+
+  // The first stage's input. Must match its BufferSpec exactly.
+  Pipeline& input(std::span<const uint8_t> bytes);
+  Pipeline& input(std::span<const int16_t> samples);
+
+  // Optional: also copy the final output into caller memory (must match
+  // the last stage's output_bytes exactly).
+  Pipeline& output(std::span<uint8_t> bytes);
+  Pipeline& output(std::span<int16_t> samples);
+
+  // Validate the whole chain (every stage known, buffer-capable, sizes
+  // compatible), then execute the stages in order through the Session's
+  // engine. Any stage failure aborts the run with that stage's error.
+  [[nodiscard]] Result<PipelineRun> run();
+
+ private:
+  friend class Session;
+  explicit Pipeline(Session* session) : session_(session) {}
+
+  Session* session_;
+  std::vector<Request> stages_;
+  std::span<const uint8_t> input_{};
+  std::span<uint8_t> output_{};
+};
+
+}  // namespace subword::api

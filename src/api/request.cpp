@@ -1,0 +1,189 @@
+#include "api/request.h"
+
+#include <utility>
+
+#include "api/session.h"
+#include "kernels/registry.h"
+
+namespace subword::api {
+
+Request& Request::repeats(int n) {
+  repeats_ = n;
+  return *this;
+}
+
+Request& Request::baseline() {
+  use_spu_ = false;
+  return *this;
+}
+
+Request& Request::spu(const core::CrossbarConfig& cfg) {
+  use_spu_ = true;
+  cfg_ = cfg;
+  return *this;
+}
+
+Request& Request::manual_spu() {
+  use_spu_ = true;
+  mode_ = kernels::SpuMode::Manual;
+  return *this;
+}
+
+Request& Request::auto_orchestrate() {
+  use_spu_ = true;
+  mode_ = kernels::SpuMode::Auto;
+  return *this;
+}
+
+Request& Request::orchestrator(const core::OrchestratorOptions& opts) {
+  use_spu_ = true;
+  mode_ = kernels::SpuMode::Auto;
+  opts_ = opts;
+  has_opts_ = true;
+  return *this;
+}
+
+Request& Request::pipeline_config(const sim::PipelineConfig& pc) {
+  pc_ = pc;
+  return *this;
+}
+
+Request& Request::input(std::span<const uint8_t> bytes) {
+  buffers_.input = bytes;
+  return *this;
+}
+
+Request& Request::input(std::span<const int16_t> samples) {
+  buffers_.input = detail::as_byte_span(samples);
+  return *this;
+}
+
+Request& Request::output(std::span<uint8_t> bytes) {
+  buffers_.output = bytes;
+  return *this;
+}
+
+Request& Request::output(std::span<int16_t> samples) {
+  buffers_.output = detail::as_writable_byte_span(samples);
+  return *this;
+}
+
+Result<runtime::KernelJob> Request::build() const {
+  const std::string context = "request(" + kernel_ + ")";
+  const auto* info = kernels::find_kernel_info(kernel_);
+  if (info == nullptr) {
+    return ApiError{ErrorCode::kUnknownKernel,
+                    "no registered kernel named '" + kernel_ + "'", context};
+  }
+  if (repeats_ < 1) {
+    return ApiError{ErrorCode::kInvalidArgument,
+                    "repeats must be >= 1, got " + std::to_string(repeats_),
+                    context};
+  }
+  if (use_spu_ && mode_ == kernels::SpuMode::Manual &&
+      !info->has_manual_spu) {
+    return ApiError{ErrorCode::kNoManualSpuVariant,
+                    "kernel has no hand-written SPU variant; use "
+                    "auto_orchestrate()",
+                    context};
+  }
+  if (!buffers_.empty()) {
+    if (!info->buffers.supported()) {
+      return ApiError{ErrorCode::kBuffersUnsupported,
+                      "kernel does not accept user-owned buffers", context};
+    }
+    if (!buffers_.input.empty() &&
+        buffers_.input.size() != info->buffers.input_bytes) {
+      return ApiError{
+          ErrorCode::kBufferSizeMismatch,
+          "input buffer is " + std::to_string(buffers_.input.size()) +
+              " bytes, kernel wants " +
+              std::to_string(info->buffers.input_bytes),
+          context};
+    }
+    if (!buffers_.output.empty() &&
+        buffers_.output.size() != info->buffers.output_bytes) {
+      return ApiError{
+          ErrorCode::kBufferSizeMismatch,
+          "output buffer is " + std::to_string(buffers_.output.size()) +
+              " bytes, kernel produces " +
+              std::to_string(info->buffers.output_bytes),
+          context};
+    }
+  }
+
+  runtime::KernelJob job;
+  job.kernel = info->name;  // canonical registry spelling
+  job.repeats = repeats_;
+  job.use_spu = use_spu_;
+  job.mode = mode_;
+  job.cfg = cfg_;
+  if (has_opts_) job.opts = opts_;
+  job.pc = pc_;
+  job.buffers = buffers_;
+  return job;
+}
+
+Result<Submitted> Request::submit() {
+  auto job = build();
+  if (!job.ok()) return job.error();
+  const std::string context = "request(" + job->kernel + ")";
+  return Submitted(session_->engine_.submit(*std::move(job)), context);
+}
+
+Result<Response> Request::run() {
+  auto submitted = submit();
+  if (!submitted.ok()) return submitted.error();
+  return submitted->wait();
+}
+
+Result<Response> Submitted::wait() {
+  if (!fut_.valid()) {
+    return ApiError{ErrorCode::kInvalidArgument,
+                    "wait() already consumed this Submitted", context_};
+  }
+  return detail::to_response(fut_.get(), context_);
+}
+
+namespace detail {
+
+Result<Response> to_response(runtime::JobResult r,
+                             const std::string& context) {
+  if (!r.ok) {
+    ErrorCode code = ErrorCode::kExecutionFailed;
+    switch (r.kind) {
+      case runtime::JobErrorKind::kRejected:
+        code = ErrorCode::kSessionShutdown;
+        break;
+      case runtime::JobErrorKind::kCancelled:
+        code = ErrorCode::kCancelled;
+        break;
+      case runtime::JobErrorKind::kFailed:
+      case runtime::JobErrorKind::kNone:
+        code = ErrorCode::kExecutionFailed;
+        break;
+    }
+    return ApiError{code, r.error, context};
+  }
+  if (!r.run.verified) {
+    // Verification is part of the facade's correctness contract: a caller
+    // must never consume outputs that diverged from the scalar reference
+    // (reachable with user-owned buffers whose values break the kernel's
+    // documented range contract).
+    return ApiError{ErrorCode::kVerificationFailed,
+                    "outputs did not match the scalar reference for the "
+                    "data the kernel received",
+                    context};
+  }
+  Response resp;
+  resp.run = std::move(r.run);
+  resp.cache_hit = r.cache_hit;
+  resp.prepare_ns = r.prepare_ns;
+  resp.execute_ns = r.execute_ns;
+  resp.worker = r.worker;
+  return resp;
+}
+
+}  // namespace detail
+
+}  // namespace subword::api

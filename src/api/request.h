@@ -1,0 +1,120 @@
+// request.h — the facade's fluent request builder.
+//
+//   Session session;
+//   auto r = session.request("fir12").repeats(8)
+//                   .spu(core::kConfigD).auto_orchestrate().run();
+//
+// A Request is cheap to copy and carries typed knobs only; every check —
+// kernel name against the registry's KernelInfo descriptors, mode against
+// the kernel's capabilities, buffer spans against its BufferSpec — happens
+// at build()/submit() time and is reported through Result<T> instead of
+// exceptions. The Request borrows its Session: it must not outlive it.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "api/result.h"
+#include "runtime/batch_engine.h"
+
+namespace subword::api {
+
+class Session;
+
+// What a finished request yields: the KernelRun (simulation stats,
+// bit-exact verification flag, SPU counters, orchestration report when
+// auto-orchestrated) plus the service-side economics of this execution.
+struct Response {
+  kernels::KernelRun run;
+  bool cache_hit = false;   // preparation came from the orchestration cache
+  uint64_t prepare_ns = 0;
+  uint64_t execute_ns = 0;
+  int worker = -1;
+};
+
+// A validated request in flight. Move-only; wait() resolves exactly once.
+class Submitted {
+ public:
+  [[nodiscard]] Result<Response> wait();
+
+ private:
+  friend class Request;
+  Submitted(std::future<runtime::JobResult> fut, std::string context)
+      : fut_(std::move(fut)), context_(std::move(context)) {}
+
+  std::future<runtime::JobResult> fut_;
+  std::string context_;
+};
+
+class Request {
+ public:
+  // -- Knobs (fluent, each returns *this) ----------------------------------
+  Request& repeats(int n);                       // problem-size knob, >= 1
+  Request& baseline();                           // plain MMX, no SPU (default)
+  Request& spu(const core::CrossbarConfig& cfg); // SPU on; mode stays Manual
+                                                 // until auto_orchestrate()
+  Request& manual_spu();                         // hand-written SPU variant
+  Request& auto_orchestrate();                   // orchestrator over baseline
+  Request& orchestrator(const core::OrchestratorOptions& opts);  // implies auto
+  Request& pipeline_config(const sim::PipelineConfig& pc);
+
+  // User-owned buffers (kernels advertising a BufferSpec only). The spans
+  // view caller memory that must stay alive until the response arrives.
+  Request& input(std::span<const uint8_t> bytes);
+  Request& input(std::span<const int16_t> samples);
+  Request& output(std::span<uint8_t> bytes);
+  Request& output(std::span<int16_t> samples);
+
+  // -- Terminal operations -------------------------------------------------
+  // Validate every knob against the registry and assemble the runtime job.
+  // This is where unknown kernels, repeats < 1, Manual mode without a
+  // manual variant, and buffer-size mismatches are caught.
+  [[nodiscard]] Result<runtime::KernelJob> build() const;
+
+  // Validate, then enqueue on the Session's engine (async).
+  [[nodiscard]] Result<Submitted> submit();
+
+  // Validate, enqueue, and wait (sync convenience).
+  [[nodiscard]] Result<Response> run();
+
+  [[nodiscard]] const std::string& kernel_name() const { return kernel_; }
+
+ private:
+  friend class Session;
+  friend class Pipeline;
+
+  Request(Session* session, std::string kernel)
+      : session_(session), kernel_(std::move(kernel)) {}
+
+  Session* session_;
+  std::string kernel_;
+  int repeats_ = 1;
+  bool use_spu_ = false;
+  kernels::SpuMode mode_ = kernels::SpuMode::Manual;
+  core::CrossbarConfig cfg_ = core::kConfigA;
+  core::OrchestratorOptions opts_{};
+  bool has_opts_ = false;
+  sim::PipelineConfig pc_{};
+  kernels::BufferBinding buffers_{};
+};
+
+namespace detail {
+// Shared JobResult -> Result<Response> conversion (Submitted and Pipeline).
+[[nodiscard]] Result<Response> to_response(runtime::JobResult r,
+                                           const std::string& context);
+
+// 16-bit lane spans reinterpreted as the byte spans BufferBinding carries.
+[[nodiscard]] inline std::span<const uint8_t> as_byte_span(
+    std::span<const int16_t> s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size_bytes()};
+}
+[[nodiscard]] inline std::span<uint8_t> as_writable_byte_span(
+    std::span<int16_t> s) {
+  return {reinterpret_cast<uint8_t*>(s.data()), s.size_bytes()};
+}
+}  // namespace detail
+
+}  // namespace subword::api

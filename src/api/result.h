@@ -1,0 +1,107 @@
+// result.h — the facade's error convention: every fallible api:: call
+// returns Result<T>, an expected-style value-or-ApiError sum type.
+//
+// The layers below keep their idioms (exceptions in kernels/sim for
+// programmer errors, kind-tagged JobResults in runtime); the facade is
+// where both are converted into one typed, non-throwing surface. The only
+// throw left at this level is Result::value() on an error Result — a
+// caller bug, reported via std::logic_error with the error's own message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace subword::api {
+
+enum class ErrorCode {
+  kUnknownKernel,        // name not in the registry
+  kInvalidArgument,      // bad knob value (repeats < 1, stage from another
+                         // session, ...)
+  kNoManualSpuVariant,   // SpuMode::Manual requested, kernel has none
+  kBuffersUnsupported,   // kernel advertises no BufferSpec
+  kBufferSizeMismatch,   // bound span size != the kernel's BufferSpec
+  kPipelineMismatch,     // stage N's output cannot feed stage N+1's input
+  kSessionShutdown,      // submitted after Session::shutdown
+  kCancelled,            // dropped by a cancel while queued
+  kExecutionFailed,      // preparation or simulation failed
+  kVerificationFailed,   // outputs did not match the scalar reference
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknownKernel: return "UnknownKernel";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kNoManualSpuVariant: return "NoManualSpuVariant";
+    case ErrorCode::kBuffersUnsupported: return "BuffersUnsupported";
+    case ErrorCode::kBufferSizeMismatch: return "BufferSizeMismatch";
+    case ErrorCode::kPipelineMismatch: return "PipelineMismatch";
+    case ErrorCode::kSessionShutdown: return "SessionShutdown";
+    case ErrorCode::kCancelled: return "Cancelled";
+    case ErrorCode::kExecutionFailed: return "ExecutionFailed";
+    case ErrorCode::kVerificationFailed: return "VerificationFailed";
+  }
+  return "UnknownError";
+}
+
+struct ApiError {
+  ErrorCode code = ErrorCode::kInvalidArgument;
+  std::string message;  // human-readable cause
+  std::string context;  // what was being done (kernel name, stage, ...)
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = api::to_string(code);
+    s += ": ";
+    s += message;
+    if (!context.empty()) {
+      s += " (";
+      s += context;
+      s += ")";
+    }
+    return s;
+  }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(ApiError error) : v_(std::move(error)) {}     // NOLINT(runtime/explicit)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  // Precondition: ok(). Violations throw std::logic_error carrying the
+  // ApiError's rendered message — the one deliberate throw in the facade.
+  [[nodiscard]] T& value() & { check(); return std::get<T>(v_); }
+  [[nodiscard]] const T& value() const& { check(); return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { check(); return std::get<T>(std::move(v_)); }
+
+  // Precondition: !ok().
+  [[nodiscard]] const ApiError& error() const {
+    return std::get<ApiError>(v_);
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T&& operator*() && { return std::move(*this).value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  void check() const {
+    if (!ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<ApiError>(v_).to_string());
+    }
+  }
+
+  std::variant<T, ApiError> v_;
+};
+
+// For calls with no payload.
+using Status = Result<std::monostate>;
+inline Status ok_status() { return Status(std::monostate{}); }
+
+}  // namespace subword::api

@@ -1,0 +1,74 @@
+// session.h — the facade's entry point and the one supported way to use
+// the system.
+//
+// A Session owns the execution substrate — a runtime::BatchEngine worker
+// pool plus the shared OrchestrationCache — and hands out typed handles:
+// Request builders for single kernel executions and Pipeline builders for
+// buffer-chained stage graphs. Several Sessions may share one cache
+// (SessionOptions::cache), modelling service replicas amortizing the same
+// orchestrations; the cache is thread-safe and prepares each unique
+// configuration exactly once across all of them.
+//
+// Everything fallible returns Result<T> (api/result.h). The lower layers'
+// exceptions stop at the engine boundary; Session itself never throws.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/pipeline.h"
+#include "api/request.h"
+#include "api/result.h"
+#include "kernels/registry.h"
+#include "runtime/batch_engine.h"
+
+namespace subword::api {
+
+struct SessionOptions {
+  int workers = 0;  // 0: hardware_concurrency (at least 1)
+  // Shared orchestration cache; null means the Session owns a private one.
+  std::shared_ptr<runtime::OrchestrationCache> cache;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions opts = {});
+  ~Session();  // drains in-flight work (BatchEngine::shutdown)
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Start building a request for a registry kernel. Name matching is
+  // case-insensitive; validation happens at the Request's build()/submit().
+  [[nodiscard]] Request request(std::string kernel);
+
+  // Start building a buffer-chained stage pipeline.
+  [[nodiscard]] Pipeline pipeline();
+
+  // Enumerate the registry: every kernel's identity, suite membership,
+  // manual-SPU capability, and buffer contract.
+  [[nodiscard]] const std::vector<kernels::KernelInfo>& kernels() const;
+
+  // Descriptor lookup (case-insensitive).
+  [[nodiscard]] Result<kernels::KernelInfo> kernel(
+      std::string_view name) const;
+
+  [[nodiscard]] runtime::EngineStats stats() const;
+  [[nodiscard]] std::shared_ptr<runtime::OrchestrationCache> shared_cache()
+      const;
+  [[nodiscard]] int workers() const;
+
+  // Stop accepting requests and drain. Idempotent; later submits resolve
+  // with ErrorCode::kSessionShutdown.
+  void shutdown();
+
+ private:
+  friend class Request;
+  friend class Pipeline;
+
+  runtime::BatchEngine engine_;
+};
+
+}  // namespace subword::api

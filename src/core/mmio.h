@@ -18,6 +18,9 @@
 // Reads return the same encoding (plus live status in CONFIG bit 31).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "core/spu.h"
 #include "sim/memory.h"
 

@@ -35,6 +35,7 @@
 //    touch them are rejected (throw), never silently corrupted.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -7,6 +7,7 @@
 // programs that want orchestration must leave those registers free.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>

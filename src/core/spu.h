@@ -28,6 +28,7 @@
 //    configuration and throws rather than route an illegal program.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "core/crossbar.h"
 

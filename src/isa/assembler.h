@@ -15,8 +15,11 @@
 // Forward references to labels are allowed and patched at take().
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "isa/program.h"

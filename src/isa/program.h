@@ -1,9 +1,11 @@
 // program.h — an assembled program: instruction vector plus label metadata.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "isa/inst.h"

@@ -175,4 +175,23 @@ bool ColorConvertKernel::verify(const sim::Memory& mem) const {
          compare_i16(mem, kAux2Addr, want.cr, name() + "/Cr") == 0;
 }
 
+BufferSpec ColorConvertKernel::buffer_spec() const {
+  BufferSpec s;
+  s.input_bytes = 3 * kPixels * 2;  // interleaved RGB, 16-bit lanes
+  s.output_bytes = kPixels * 2;     // the Y plane (kOutputAddr)
+  return s;
+}
+
+bool ColorConvertKernel::verify_bound(const sim::Memory& mem,
+                                      std::span<const uint8_t> input) const {
+  const auto rgb = bytes_as_i16(input);
+  const auto want = ref::rgb_to_ycbcr(rgb);
+  return compare_i16(mem, kOutputAddr, want.y, name() + "/bound Y",
+                     /*log_mismatches=*/false) == 0 &&
+         compare_i16(mem, kAuxAddr, want.cb, name() + "/bound Cb",
+                     /*log_mismatches=*/false) == 0 &&
+         compare_i16(mem, kAux2Addr, want.cr, name() + "/bound Cr",
+                     /*log_mismatches=*/false) == 0;
+}
+
 }  // namespace subword::kernels

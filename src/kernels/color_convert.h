@@ -15,6 +15,11 @@
 // the arithmetic is unchanged.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
 #include "kernels/kernel.h"
 
 namespace subword::kernels {
@@ -30,6 +35,13 @@ class ColorConvertKernel final : public MediaKernel {
       const core::CrossbarConfig& cfg, int repeats) const override;
   void init_memory(sim::Memory& mem) const override;
   [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+  // Primary input: interleaved RGB (3*kPixels 16-bit lanes, values 0..255
+  // — the bit-exactness contract assumes pixel-range data). Primary
+  // output: the Y plane; Cb/Cr stay at kAuxAddr/kAux2Addr.
+  [[nodiscard]] BufferSpec buffer_spec() const override;
+  [[nodiscard]] bool verify_bound(const sim::Memory& mem,
+                                  std::span<const uint8_t> input)
+      const override;
 };
 
 }  // namespace subword::kernels

@@ -22,13 +22,6 @@ constexpr int kRowBytes = Conv2dKernel::kInW * 2;
 //   MM0/MM1 the row's two aligned quadwords, MM2/MM3 window temps,
 //   MM6 product temp, MM7 accumulator.
 
-// 3x3 coefficients as broadcast quadwords, matrix order.
-std::vector<int16_t> kernel_coeffs() {
-  // Small signed taps: |k| <= 8 keeps every lane of the accumulation
-  // exact in 16 bits (max |sum| = 9 * 8 * 255 = 18360).
-  auto k = ref::make_matrix(3, 3, kSeedK, /*amplitude=*/8);
-  return k;
-}
 
 // Multiply the current window (in `win`) by tap (dy,dx), accumulate.
 void emit_mac(Assembler& a, int dy, int dx, uint8_t win, bool first) {
@@ -154,7 +147,7 @@ void Conv2dKernel::init_memory(sim::Memory& mem) const {
   const auto img =
       ref::make_pixels(static_cast<size_t>(kInW) * kInH, kSeedImg);
   mem.write_span<int16_t>(kInputAddr, img);
-  const auto k = kernel_coeffs();
+  const auto k = Conv2dKernel::coefficients();
   std::vector<int16_t> bc(9 * 4);
   for (int c = 0; c < 9; ++c) {
     for (int lane = 0; lane < 4; ++lane) {
@@ -167,9 +160,31 @@ void Conv2dKernel::init_memory(sim::Memory& mem) const {
 bool Conv2dKernel::verify(const sim::Memory& mem) const {
   const auto img =
       ref::make_pixels(static_cast<size_t>(kInW) * kInH, kSeedImg);
-  const auto want = ref::conv2d_3x3(img, kInW, kInH, kernel_coeffs(), kOutW,
+  const auto want = ref::conv2d_3x3(img, kInW, kInH, coefficients(), kOutW,
                                     kShift);
   return compare_i16(mem, kOutputAddr, want, name()) == 0;
+}
+
+BufferSpec Conv2dKernel::buffer_spec() const {
+  BufferSpec s;
+  s.input_bytes = static_cast<size_t>(kInW) * kInH * 2;
+  s.output_bytes = static_cast<size_t>(kOutW) * kOutH * 2;
+  return s;
+}
+
+bool Conv2dKernel::verify_bound(const sim::Memory& mem,
+                                std::span<const uint8_t> input) const {
+  const auto img = bytes_as_i16(input);
+  const auto want =
+      ref::conv2d_3x3(img, kInW, kInH, coefficients(), kOutW, kShift);
+  return compare_i16(mem, kOutputAddr, want, name() + "/bound",
+                     /*log_mismatches=*/false) == 0;
+}
+
+std::vector<int16_t> Conv2dKernel::coefficients() {
+  // Small signed taps: |k| <= 8 keeps every lane of the accumulation exact
+  // in 16 bits (max |sum| = 9 * 8 * 255 = 18360).
+  return ref::make_matrix(3, 3, kSeedK, /*amplitude=*/8);
 }
 
 }  // namespace subword::kernels

@@ -15,6 +15,12 @@
 // happen once per row regardless of tap count).
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "kernels/kernel.h"
 
 namespace subword::kernels {
@@ -34,6 +40,17 @@ class Conv2dKernel final : public MediaKernel {
       const core::CrossbarConfig& cfg, int repeats) const override;
   void init_memory(sim::Memory& mem) const override;
   [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+  // Primary input: the kInW x kInH 16-bit tile (pixel-range values, 0..255,
+  // for the wrap-free bit-exactness contract). Primary output: the
+  // kOutW x kOutH result tile.
+  [[nodiscard]] BufferSpec buffer_spec() const override;
+  [[nodiscard]] bool verify_bound(const sim::Memory& mem,
+                                  std::span<const uint8_t> input)
+      const override;
+
+  // The deterministic 3x3 tap matrix (row-major). Public so pipeline
+  // consumers can compose the scalar reference end-to-end.
+  [[nodiscard]] static std::vector<int16_t> coefficients();
 };
 
 }  // namespace subword::kernels

@@ -13,6 +13,9 @@
 // transpose column gathers.
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "kernels/kernel.h"
 
 namespace subword::kernels {

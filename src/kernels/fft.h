@@ -19,6 +19,10 @@
 // paper's "startup costs easily scheduled" in action.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <string>
+
 #include "kernels/kernel.h"
 
 namespace subword::kernels {

@@ -235,4 +235,22 @@ bool FirKernel::verify(const sim::Memory& mem) const {
   return compare_i16(mem, kOutputAddr, want, name()) == 0;
 }
 
+BufferSpec FirKernel::buffer_spec() const {
+  // Primary input is the sample block after the zeroed history window; the
+  // coefficient table stays synthetic.
+  BufferSpec s;
+  s.input_bytes = kSamples * 2;
+  s.output_bytes = kSamples * 2;
+  s.input_addr = kXBase;
+  return s;
+}
+
+bool FirKernel::verify_bound(const sim::Memory& mem,
+                             std::span<const uint8_t> input) const {
+  const auto x = bytes_as_i16(input);
+  const auto want = ref::fir(x, coeffs(), kShift);
+  return compare_i16(mem, kOutputAddr, want, name() + "/bound",
+                     /*log_mismatches=*/false) == 0;
+}
+
 }  // namespace subword::kernels

@@ -14,6 +14,12 @@
 // a routed PSRAD — six permutations per iteration disappear.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "kernels/kernel.h"
 
 namespace subword::kernels {
@@ -33,6 +39,10 @@ class FirKernel final : public MediaKernel {
       const core::CrossbarConfig& cfg, int repeats) const override;
   void init_memory(sim::Memory& mem) const override;
   [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+  [[nodiscard]] BufferSpec buffer_spec() const override;
+  [[nodiscard]] bool verify_bound(const sim::Memory& mem,
+                                  std::span<const uint8_t> input)
+      const override;
 
   [[nodiscard]] int taps() const { return taps_; }
 

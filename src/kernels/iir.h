@@ -13,6 +13,11 @@
 // that what little MMX work IIR does is dominated by data marshalling.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "kernels/kernel.h"
 
 namespace subword::kernels {

@@ -1,17 +1,30 @@
 #include "kernels/kernel.h"
 
 #include <cstdio>
+#include <cstring>
 
 namespace subword::kernels {
 
+void MediaKernel::bind_input(sim::Memory& mem,
+                             std::span<const uint8_t> input) const {
+  mem.write_span<uint8_t>(buffer_spec().input_addr, input);
+}
+
+bool MediaKernel::verify_bound(const sim::Memory& /*mem*/,
+                               std::span<const uint8_t> /*input*/) const {
+  // A kernel advertising a BufferSpec must pair it with the matching
+  // reference; reaching this default means it did not.
+  return false;
+}
+
 int compare_i16(const sim::Memory& mem, uint64_t addr,
                 const std::vector<int16_t>& expected,
-                const std::string& what) {
+                const std::string& what, bool log_mismatches) {
   int mismatches = 0;
   for (size_t i = 0; i < expected.size(); ++i) {
     const auto got = static_cast<int16_t>(mem.read16(addr + 2 * i));
     if (got != expected[i]) {
-      if (mismatches < 5) {
+      if (log_mismatches && mismatches < 5) {
         std::fprintf(stderr, "%s: mismatch at %zu: got %d want %d\n",
                      what.c_str(), i, got, expected[i]);
       }
@@ -19,6 +32,12 @@ int compare_i16(const sim::Memory& mem, uint64_t addr,
     }
   }
   return mismatches;
+}
+
+std::vector<int16_t> bytes_as_i16(std::span<const uint8_t> bytes) {
+  std::vector<int16_t> out(bytes.size() / 2);
+  std::memcpy(out.data(), bytes.data(), out.size() * 2);
+  return out;
 }
 
 }  // namespace subword::kernels

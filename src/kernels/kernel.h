@@ -7,10 +7,12 @@
 // bit-exact verification against the scalar references in src/ref.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/crossbar.h"
 #include "isa/program.h"
@@ -26,6 +28,35 @@ inline constexpr uint64_t kOutputAddr = 0x40000;
 inline constexpr uint64_t kAuxAddr = 0x60000;
 inline constexpr uint64_t kAux2Addr = 0x80000;
 inline constexpr size_t kMemBytes = 1u << 20;
+
+// Where a kernel's primary input and output live in the arena, and how big
+// they are — the contract behind the user-owned-buffer path. A kernel that
+// advertises a non-empty spec accepts caller-supplied input bytes in place
+// of its synthetic workload and exposes its primary output region for
+// readback, which is what lets api::Pipeline chain one kernel's output
+// into the next kernel's input. Auxiliary inputs (coefficient tables,
+// candidate lists) keep their deterministic synthetic values.
+struct BufferSpec {
+  size_t input_bytes = 0;    // primary input region size (0: unsupported)
+  size_t output_bytes = 0;   // primary output region size
+  uint64_t input_addr = kInputAddr;
+  uint64_t output_addr = kOutputAddr;
+
+  [[nodiscard]] bool supported() const {
+    return input_bytes != 0 && output_bytes != 0;
+  }
+};
+
+// Caller-owned views bound to one execution. Spans reference memory the
+// caller keeps alive until the run completes (for batch jobs: until the
+// job's future resolves). Empty spans mean "use the synthetic workload" /
+// "skip output readback" respectively.
+struct BufferBinding {
+  std::span<const uint8_t> input;
+  std::span<uint8_t> output;
+
+  [[nodiscard]] bool empty() const { return input.empty() && output.empty(); }
+};
 
 class MediaKernel {
  public:
@@ -48,12 +79,41 @@ class MediaKernel {
 
   // Bit-exact check of the outputs against the scalar reference.
   [[nodiscard]] virtual bool verify(const sim::Memory& mem) const = 0;
+
+  // -- User-owned-buffer path (the api:: facade's data plane) ---------------
+  // Kernels opt in by returning a non-empty spec and overriding
+  // verify_bound; the base class implements the common placement.
+
+  // Primary I/O regions; default: buffers unsupported.
+  [[nodiscard]] virtual BufferSpec buffer_spec() const { return {}; }
+
+  // Place caller-supplied bytes as the primary input. Called after
+  // init_memory, so the synthetic primary input is overwritten while
+  // auxiliary tables survive. Precondition (checked by the runner):
+  // input.size() == buffer_spec().input_bytes.
+  virtual void bind_input(sim::Memory& mem,
+                          std::span<const uint8_t> input) const;
+
+  // Bit-exact check of the outputs given that the primary input was
+  // `input` rather than the synthetic workload. Default: fails — kernels
+  // that advertise a spec must implement the matching reference.
+  [[nodiscard]] virtual bool verify_bound(
+      const sim::Memory& mem, std::span<const uint8_t> input) const;
 };
 
 // Compare a region of simulated memory against expected samples; returns
 // number of mismatches (0 = verified) and logs the first few to stderr.
+// Pass log_mismatches=false on caller-triggerable paths (verify_bound over
+// user data, where out-of-contract values are a normal outcome reported
+// through the facade's kVerificationFailed, not a simulator bug).
 [[nodiscard]] int compare_i16(const sim::Memory& mem, uint64_t addr,
                               const std::vector<int16_t>& expected,
-                              const std::string& what);
+                              const std::string& what,
+                              bool log_mismatches = true);
+
+// Reinterpret caller-supplied bytes as 16-bit lanes (host byte order, the
+// same order sim::Memory stores them). Requires bytes.size() % 2 == 0.
+[[nodiscard]] std::vector<int16_t> bytes_as_i16(
+    std::span<const uint8_t> bytes);
 
 }  // namespace subword::kernels

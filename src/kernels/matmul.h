@@ -14,6 +14,9 @@
 // cheapest crossbar.
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "kernels/kernel.h"
 
 namespace subword::kernels {

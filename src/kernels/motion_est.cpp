@@ -183,20 +183,35 @@ std::optional<isa::Program> MotionEstKernel::build_spu(
 
 void MotionEstKernel::init_memory(sim::Memory& mem) const {
   const auto cur = ref::make_bytes(kBlockBytes, kSeedCur);
-  const auto cands =
-      ref::make_bytes(static_cast<size_t>(kCandidates) * kBlockBytes,
-                      kSeedCand);
   mem.write_span<uint8_t>(kInputAddr, cur);
-  mem.write_span<uint8_t>(kCoeffAddr, cands);
+  mem.write_span<uint8_t>(kCoeffAddr, candidate_blocks());
 }
 
 bool MotionEstKernel::verify(const sim::Memory& mem) const {
   const auto cur = ref::make_bytes(kBlockBytes, kSeedCur);
-  const auto cands =
-      ref::make_bytes(static_cast<size_t>(kCandidates) * kBlockBytes,
-                      kSeedCand);
-  const auto want = ref::sad_blocks(cur, cands, kBlockBytes, kCandidates);
+  const auto want =
+      ref::sad_blocks(cur, candidate_blocks(), kBlockBytes, kCandidates);
   return compare_i16(mem, kOutputAddr, want, name()) == 0;
+}
+
+BufferSpec MotionEstKernel::buffer_spec() const {
+  BufferSpec s;
+  s.input_bytes = kBlockBytes;
+  s.output_bytes = kCandidates * 2;
+  return s;
+}
+
+bool MotionEstKernel::verify_bound(const sim::Memory& mem,
+                                   std::span<const uint8_t> input) const {
+  const auto want =
+      ref::sad_blocks(input, candidate_blocks(), kBlockBytes, kCandidates);
+  return compare_i16(mem, kOutputAddr, want, name() + "/bound",
+                     /*log_mismatches=*/false) == 0;
+}
+
+std::vector<uint8_t> MotionEstKernel::candidate_blocks() {
+  return ref::make_bytes(static_cast<size_t>(kCandidates) * kBlockBytes,
+                         kSeedCand);
 }
 
 }  // namespace subword::kernels

@@ -17,6 +17,12 @@
 // mode the crossbar cannot fabricate the zero bytes.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "kernels/kernel.h"
 
 namespace subword::kernels {
@@ -34,6 +40,16 @@ class MotionEstKernel final : public MediaKernel {
       const core::CrossbarConfig& cfg, int repeats) const override;
   void init_memory(sim::Memory& mem) const override;
   [[nodiscard]] bool verify(const sim::Memory& mem) const override;
+  // Primary input: the 16x16 current block (8-bit pixels). Primary output:
+  // one 16-bit SAD per candidate. The candidate list stays synthetic.
+  [[nodiscard]] BufferSpec buffer_spec() const override;
+  [[nodiscard]] bool verify_bound(const sim::Memory& mem,
+                                  std::span<const uint8_t> input)
+      const override;
+
+  // The deterministic candidate blocks (kCandidates x kBlockBytes pixels).
+  // Public so pipeline consumers can compose the scalar reference.
+  [[nodiscard]] static std::vector<uint8_t> candidate_blocks();
 };
 
 }  // namespace subword::kernels

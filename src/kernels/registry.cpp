@@ -1,5 +1,6 @@
 #include "kernels/registry.h"
 
+#include <cctype>
 #include <stdexcept>
 
 #include "kernels/color_convert.h"
@@ -30,6 +31,67 @@ std::vector<std::unique_ptr<MediaKernel>> all_kernels() {
   v.push_back(std::make_unique<ColorConvertKernel>());
   v.push_back(std::make_unique<Conv2dKernel>());
   return v;
+}
+
+namespace {
+
+// A manual variant may be realizable under only some crossbar geometries
+// (the paper kernels target A, the extended ones D); MicroBuilder throws
+// std::logic_error for routes the geometry cannot carry, so probe every
+// registered configuration. has_manual_spu therefore means "a manual
+// variant exists under at least one config" — realizability under the
+// specific config a request passes is still checked at prepare time.
+bool probe_manual_spu(const MediaKernel& k) {
+  for (const auto& cfg : core::kAllConfigs) {
+    try {
+      if (k.build_spu(cfg, 1).has_value()) return true;
+    } catch (const std::logic_error&) {
+      continue;
+    }
+  }
+  return false;
+}
+
+std::vector<KernelInfo> build_infos() {
+  std::vector<KernelInfo> infos;
+  const auto kernels = all_kernels();
+  infos.reserve(kernels.size());
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const auto& k = *kernels[i];
+    KernelInfo info;
+    info.name = k.name();
+    info.description = k.description();
+    info.paper_suite = i < kPaperSuiteSize;
+    info.has_manual_spu = probe_manual_spu(k);
+    info.buffers = k.buffer_spec();
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::vector<KernelInfo>& kernel_infos() {
+  static const std::vector<KernelInfo> infos = build_infos();
+  return infos;
+}
+
+const KernelInfo* find_kernel_info(std::string_view name) {
+  for (const auto& info : kernel_infos()) {
+    if (iequals(info.name, name)) return &info;
+  }
+  return nullptr;
 }
 
 std::unique_ptr<MediaKernel> make_kernel(const std::string& name) {

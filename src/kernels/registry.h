@@ -1,12 +1,15 @@
 // registry.h — the kernel registry: the paper's Figure-9 benchmark suite
 // plus the extended media workloads added on top of it.
 //
-// Every consumer (runner, batch engine, tests, benches, the README table)
-// discovers kernels through this registry — adding a kernel here is the
-// single registration step (see docs/ADDING_A_KERNEL.md).
+// Every consumer (runner, batch engine, the api:: facade, tests, benches,
+// the README table) discovers kernels through this registry — adding a
+// kernel here is the single registration step (see docs/ADDING_A_KERNEL.md).
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "kernels/kernel.h"
@@ -23,7 +26,28 @@ namespace subword::kernels {
 // Figure 9 (the paper-parity benches iterate only these).
 inline constexpr size_t kPaperSuiteSize = 8;
 
-// Lookup by name (throws std::out_of_range when unknown).
+// Static description of one registered kernel — everything the api::
+// facade's Request builder validates against without constructing programs
+// per request: identity, suite membership, whether a hand-written SPU
+// variant exists (SpuMode::Manual is only buildable then), and the
+// user-owned-buffer contract.
+struct KernelInfo {
+  std::string name;
+  std::string description;
+  bool paper_suite = false;     // one of the Figure-9 rows
+  bool has_manual_spu = false;  // build_spu returns a program
+  BufferSpec buffers;           // zero sizes: synthetic workload only
+};
+
+// Descriptors for every registered kernel, registry order. Built once per
+// process (probing each kernel's manual variant) and shared thereafter;
+// safe to call from any thread.
+[[nodiscard]] const std::vector<KernelInfo>& kernel_infos();
+
+// Case-insensitive lookup ("fir12" finds FIR12); nullptr when unknown.
+[[nodiscard]] const KernelInfo* find_kernel_info(std::string_view name);
+
+// Lookup by exact registry name (throws std::out_of_range when unknown).
 [[nodiscard]] std::unique_ptr<MediaKernel> make_kernel(
     const std::string& name);
 

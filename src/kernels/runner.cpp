@@ -52,8 +52,42 @@ PreparedProgram prepare_spu(const MediaKernel& k, int repeats,
   return p;
 }
 
+namespace {
+
+// Validate a non-empty binding against the kernel's spec before touching
+// the machine; the facade pre-validates, this is the layer's own guard.
+void check_binding(const MediaKernel& k, const BufferSpec& spec,
+                   const BufferBinding& b) {
+  if (!spec.supported()) {
+    throw std::invalid_argument("execute_prepared: kernel '" + k.name() +
+                                "' does not support user-owned buffers");
+  }
+  if (!b.input.empty() && b.input.size() != spec.input_bytes) {
+    throw std::invalid_argument(
+        "execute_prepared: input buffer for '" + k.name() + "' is " +
+        std::to_string(b.input.size()) + " bytes, spec wants " +
+        std::to_string(spec.input_bytes));
+  }
+  if (!b.output.empty() && b.output.size() != spec.output_bytes) {
+    throw std::invalid_argument(
+        "execute_prepared: output buffer for '" + k.name() + "' is " +
+        std::to_string(b.output.size()) + " bytes, spec wants " +
+        std::to_string(spec.output_bytes));
+  }
+}
+
+}  // namespace
+
 KernelRun execute_prepared(const MediaKernel& k, const PreparedProgram& p,
-                           sim::Machine* scratch) {
+                           sim::Machine* scratch,
+                           const BufferBinding* buffers) {
+  const bool bound = buffers != nullptr && !buffers->empty();
+  BufferSpec spec;
+  if (bound) {
+    spec = k.buffer_spec();
+    check_binding(k, spec, *buffers);
+  }
+
   KernelRun out;
   out.orchestration = p.orchestration;
 
@@ -89,8 +123,18 @@ KernelRun execute_prepared(const MediaKernel& k, const PreparedProgram& p,
     m->set_router(&*spu);
   }
   k.init_memory(m->memory());
+  const bool bound_input = bound && !buffers->input.empty();
+  if (bound_input) k.bind_input(m->memory(), buffers->input);
   out.stats = m->run();
-  out.verified = k.verify(m->memory());
+  out.verified = bound_input ? k.verify_bound(m->memory(), buffers->input)
+                             : k.verify(m->memory());
+  // Copy back only verified outputs: a failed verification must never
+  // clobber the caller's buffer with divergent data.
+  if (bound && out.verified && !buffers->output.empty()) {
+    const auto bytes = m->memory().read_vector<uint8_t>(spec.output_addr,
+                                                        spec.output_bytes);
+    std::copy(bytes.begin(), bytes.end(), buffers->output.begin());
+  }
   if (spu) out.spu = spu->run_stats();
   return out;
 }

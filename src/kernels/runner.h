@@ -31,6 +31,7 @@
 //    job never sees a dangling Spu pointer.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "core/orchestrator.h"
@@ -91,16 +92,33 @@ struct PreparedProgram {
 // `scratch` is non-null and holds a Machine of the right memory size it is
 // reset and reused instead of reallocating (the batch runtime's per-worker
 // Machine); otherwise a Machine is constructed per call.
+//
+// `buffers`, when non-null and non-empty, is the user-owned-buffer path:
+// the binding's input bytes replace the kernel's synthetic primary input
+// (verification switches to MediaKernel::verify_bound against them) and
+// the primary output region is copied back into the binding's output span
+// after the run — only if verification succeeded, so a failed run never
+// overwrites caller memory. Sizes must match the BufferSpec exactly; throws
+// std::invalid_argument otherwise, or if the kernel advertises no spec.
+// Buffers are an execute-half concern only — they never affect preparation,
+// which is what keeps PreparedPrograms cacheable across requests with
+// different data.
 [[nodiscard]] KernelRun execute_prepared(const MediaKernel& k,
                                          const PreparedProgram& p,
-                                         sim::Machine* scratch = nullptr);
+                                         sim::Machine* scratch = nullptr,
+                                         const BufferBinding* buffers =
+                                             nullptr);
 
-// Baseline MMX run (no SPU pipeline stage). Wrapper: prepare + execute.
+// Legacy wrappers (prepare + execute in one call). Kept for tests, benches
+// and one-shot tooling; new consumers should go through the api:: facade
+// (api/session.h), which routes through the prepare/execute split and the
+// orchestration cache.
 [[nodiscard]] KernelRun run_baseline(const MediaKernel& k, int repeats,
                                      sim::PipelineConfig pc = {});
 
-// MMX+SPU run: extra pipeline stage enabled, SPU attached, MMIO programming
-// charged. Throws if mode==Manual and the kernel has no manual variant.
+// Legacy wrapper: MMX+SPU run, extra pipeline stage enabled, SPU attached,
+// MMIO programming charged. Throws if mode==Manual and the kernel has no
+// manual variant.
 [[nodiscard]] KernelRun run_spu(const MediaKernel& k, int repeats,
                                 const core::CrossbarConfig& cfg,
                                 SpuMode mode = SpuMode::Manual,

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "core/micro_builder.h"
 #include "core/mmio.h"

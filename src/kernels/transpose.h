@@ -11,6 +11,9 @@
 // four instructions (one instruction for each column)".
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "kernels/kernel.h"
 
 namespace subword::kernels {

@@ -1,0 +1,43 @@
+// video_pipeline_ref.h — host-side composition of the scalar references
+// for the color -> conv2d -> SAD pipeline: the golden end-to-end answer
+// that api::Pipeline's output must match bit-for-bit. Shared by
+// examples/video_pipeline.cpp and tests/test_api.cpp so the tile-prefix
+// rule and byte reinterpretation live in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "kernels/conv2d.h"
+#include "kernels/motion_est.h"
+#include "ref/ref_color.h"
+#include "ref/ref_conv2d.h"
+#include "ref/ref_sad.h"
+
+namespace subword::kernels {
+
+// `rgb` is one interleaved 256-pixel frame (3*256 16-bit lanes, 0..255).
+// Returns the 16 SAD scores of ref_color ∘ ref_conv2d ∘ ref_sad.
+[[nodiscard]] inline std::vector<int16_t> composed_video_pipeline_ref(
+    std::span<const int16_t> rgb) {
+  const auto planes = ref::rgb_to_ycbcr(rgb);
+  // The conv stage consumes the leading kInW x kInH window of the Y plane
+  // — the same prefix rule api::Pipeline applies between stages.
+  const std::span<const int16_t> tile(
+      planes.y.data(), static_cast<size_t>(Conv2dKernel::kInW) *
+                           static_cast<size_t>(Conv2dKernel::kInH));
+  const auto filtered =
+      ref::conv2d_3x3(tile, Conv2dKernel::kInW, Conv2dKernel::kInH,
+                      Conv2dKernel::coefficients(), Conv2dKernel::kOutW,
+                      Conv2dKernel::kShift);
+  // The SAD stage reads the filtered tile as raw bytes (its current block).
+  std::vector<uint8_t> block(filtered.size() * 2);
+  std::memcpy(block.data(), filtered.data(), block.size());
+  return ref::sad_blocks(block, MotionEstKernel::candidate_blocks(),
+                         MotionEstKernel::kBlockBytes,
+                         MotionEstKernel::kCandidates);
+}
+
+}  // namespace subword::kernels

@@ -6,6 +6,7 @@
 // renderer is deterministic and unit-tested.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

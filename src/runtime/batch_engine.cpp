@@ -42,7 +42,13 @@ std::future<JobResult> BatchEngine::submit(KernelJob job) {
   {
     std::lock_guard lock(mu_);
     if (!accepting_) {
-      throw std::runtime_error("BatchEngine::submit after shutdown");
+      ++agg_.jobs_rejected;
+      JobResult r;
+      r.ok = false;
+      r.kind = JobErrorKind::kRejected;
+      r.error = "submit after shutdown: engine is not accepting jobs";
+      task.promise.set_value(std::move(r));
+      return fut;
     }
     ++agg_.jobs_submitted;
     queue_.push_back(std::move(task));
@@ -92,6 +98,7 @@ void BatchEngine::cancel() {
   for (auto& task : dropped) {
     JobResult r;
     r.ok = false;
+    r.kind = JobErrorKind::kCancelled;
     r.error = "cancelled";
     {
       std::lock_guard lock(mu_);
@@ -161,11 +168,13 @@ JobResult BatchEngine::run_job(const KernelJob& job, int worker_id,
                                                kernels::kMemBytes,
                                                prepared->pc);
     }
-    r.run = kernels::execute_prepared(*kernel, *prepared, scratch.get());
+    r.run = kernels::execute_prepared(*kernel, *prepared, scratch.get(),
+                                      &job.buffers);
     r.execute_ns = now_ns() - t1;
     r.ok = true;
   } catch (const std::exception& e) {
     r.ok = false;
+    r.kind = JobErrorKind::kFailed;
     r.error = e.what();
   }
   return r;

@@ -33,11 +33,26 @@ struct KernelJob {
   core::CrossbarConfig cfg = core::kConfigA;
   core::OrchestratorOptions opts{};  // Auto path; opts.config is overridden
   sim::PipelineConfig pc{};
+  // User-owned buffers (see kernels/kernel.h). The spans view caller
+  // memory that MUST stay alive until the job's future resolves; buffers
+  // never affect preparation, so they are not part of the cache key.
+  kernels::BufferBinding buffers{};
+};
+
+// Why a job produced no result. The engine never throws at the submission
+// boundary — every outcome is delivered through the future, which is what
+// the api:: facade converts into its Result/ApiError convention.
+enum class JobErrorKind {
+  kNone,       // ok
+  kRejected,   // submitted after shutdown; never entered the queue
+  kCancelled,  // dropped by cancel() while still queued
+  kFailed,     // preparation or execution failed (error has the details)
 };
 
 struct JobResult {
   kernels::KernelRun run;
-  bool ok = false;              // false: `error` explains
+  bool ok = false;              // false: `kind`/`error` explain
+  JobErrorKind kind = JobErrorKind::kNone;
   std::string error;
   bool cache_hit = false;       // preparation came from the cache
   uint64_t prepare_ns = 0;      // time spent in get_or_prepare
@@ -50,6 +65,7 @@ struct EngineStats {
   uint64_t jobs_submitted = 0;
   uint64_t jobs_completed = 0;
   uint64_t jobs_failed = 0;
+  uint64_t jobs_rejected = 0;   // submit() after shutdown
   uint64_t cycles_simulated = 0;
   uint64_t instructions_retired = 0;
   CacheStats cache;
@@ -74,7 +90,9 @@ class BatchEngine {
   BatchEngine(const BatchEngine&) = delete;
   BatchEngine& operator=(const BatchEngine&) = delete;
 
-  // Enqueue one job. Throws std::runtime_error after shutdown() began.
+  // Enqueue one job. Never throws for lifecycle reasons: after shutdown()
+  // began the returned future resolves immediately with ok=false and
+  // kind=JobErrorKind::kRejected.
   std::future<JobResult> submit(KernelJob job);
 
   // Convenience: submit everything, wait for everything, preserve order.

@@ -12,9 +12,13 @@
 // Code and data are assumed L1-resident (paper §5.2.1): loads are 1 cycle.
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "isa/program.h"
 #include "sim/bpred.h"

@@ -4,6 +4,7 @@
 // register an address window and receive the stores/loads that hit it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

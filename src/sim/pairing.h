@@ -12,6 +12,8 @@
 //  * branches pair only in the V pipe.
 #pragma once
 
+#include <cstdint>
+
 #include "isa/inst.h"
 
 namespace subword::sim {

@@ -6,6 +6,8 @@
 // plain Pentium MMX.
 #pragma once
 
+#include <cstdint>
+
 #include "isa/inst.h"
 #include "sim/regfile.h"
 #include "swar/vec64.h"

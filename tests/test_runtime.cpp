@@ -326,12 +326,15 @@ TEST(BatchEngine, GracefulShutdownFinishesInFlightAndQueuedJobs) {
       futures.push_back(engine.submit(auto_job("FIR12", 1 + i % 3)));
     }
     engine.shutdown();  // must drain everything already accepted
-    EXPECT_THROW((void)engine.submit(baseline_job("FIR12", 1)),
-                 std::runtime_error);
+    auto rejected = engine.submit(baseline_job("FIR12", 1));
+    const auto rr = rejected.get();
+    EXPECT_FALSE(rr.ok);
+    EXPECT_EQ(rr.kind, JobErrorKind::kRejected);
     const auto s = engine.stats();
     EXPECT_EQ(s.jobs_submitted, 12u);
     EXPECT_EQ(s.jobs_completed, 12u);
     EXPECT_EQ(s.jobs_failed, 0u);
+    EXPECT_EQ(s.jobs_rejected, 1u);
   }
   for (auto& f : futures) {
     const auto r = f.get();
@@ -365,8 +368,10 @@ TEST(BatchEngine, CancelResolvesQueuedJobsAsCancelled) {
   for (auto& f : futures) {
     const auto r = f.get();
     if (r.ok) {
+      EXPECT_EQ(r.kind, JobErrorKind::kNone);
       ++completed;
     } else {
+      EXPECT_EQ(r.kind, JobErrorKind::kCancelled);
       EXPECT_EQ(r.error, "cancelled");
       ++cancelled;
     }
@@ -376,4 +381,43 @@ TEST(BatchEngine, CancelResolvesQueuedJobsAsCancelled) {
   const auto s = engine.stats();
   EXPECT_EQ(s.jobs_completed, 20u);
   EXPECT_EQ(s.jobs_failed, static_cast<uint64_t>(cancelled));
+}
+
+// Regression for the submit-after-shutdown path: it used to throw
+// std::runtime_error from the caller's thread; the contract now is a
+// future resolved with kind=kRejected so the facade can surface it as an
+// ApiError instead of an exception.
+TEST(BatchEngine, SubmitAfterShutdownResolvesAsRejectedNotThrow) {
+  BatchEngine engine({.workers = 2, .cache = nullptr});
+  engine.shutdown();
+  std::future<JobResult> fut;
+  EXPECT_NO_THROW(fut = engine.submit(baseline_job("FIR12", 1)));
+  ASSERT_TRUE(fut.valid());
+  const auto r = fut.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.kind, JobErrorKind::kRejected);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(engine.stats().jobs_rejected, 1u);
+  EXPECT_EQ(engine.stats().jobs_submitted, 0u);
+}
+
+// Cancel-while-queued followed by submit: the engine must reject, not
+// throw and not deadlock, and stats must distinguish the two outcomes.
+TEST(BatchEngine, SubmitAfterCancelIsRejected) {
+  BatchEngine engine({.workers = 1, .cache = nullptr});
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(engine.submit(auto_job("FFT128", 1)));
+  }
+  engine.cancel();
+  const auto late = engine.submit(baseline_job("FIR12", 1)).get();
+  EXPECT_FALSE(late.ok);
+  EXPECT_EQ(late.kind, JobErrorKind::kRejected);
+  uint64_t cancelled = 0;
+  for (auto& f : futures) {
+    if (f.get().kind == JobErrorKind::kCancelled) ++cancelled;
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.jobs_rejected, 1u);
+  EXPECT_EQ(s.jobs_failed, cancelled);
 }
