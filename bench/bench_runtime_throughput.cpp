@@ -24,7 +24,9 @@ using Clock = std::chrono::steady_clock;
 
 namespace {
 
-std::vector<runtime::KernelJob> request_mix(int copies) {
+std::vector<runtime::KernelJob> request_mix(
+    int copies, int repeats = 1,
+    kernels::ExecBackend backend = kernels::ExecBackend::kSimulator) {
   // Every registry kernel x 2 configs, replicated `copies` times — a
   // repeated-config workload like a service hot set.
   std::vector<runtime::KernelJob> jobs;
@@ -33,9 +35,10 @@ std::vector<runtime::KernelJob> request_mix(int copies) {
       for (const auto& cfg : {core::kConfigA, core::kConfigD}) {
         runtime::KernelJob j;
         j.kernel = k->name();
-        j.repeats = 1;
+        j.repeats = repeats;
         j.use_spu = true;
         j.mode = kernels::SpuMode::Auto;
+        j.backend = backend;
         j.cfg = cfg;
         jobs.push_back(j);
       }
@@ -123,6 +126,68 @@ int main(int argc, char** argv) {
                {"cold_ms", BenchJson::num(cold_ms)},
                {"warm_ms", BenchJson::num(warm_ms)},
                {"cold_over_warm", BenchJson::num(cold_ms / warm_ms)}});
+  // Backend dimension: the same request mix executed by the cycle-level
+  // simulator vs the native-SWAR trace backend. Larger per-job repeats so
+  // execution (not per-job fixed costs) dominates; one warm-up pass per
+  // backend pays the prepare+lowering cost, the timed pass is all-cached —
+  // the batch path a hot service actually runs.
+  constexpr int kBackendCopies = 4;
+  constexpr int kBackendRepeats = 16;
+  std::printf("Backend dimension — same mix, repeats=%d, warm cache:\n",
+              kBackendRepeats);
+  prof::Table bt({"backend", "jobs", "wall ms", "jobs/s", "exec ms (sum)",
+                  "prep ms (sum)"});
+  double exec_ms[2] = {0.0, 0.0};
+  double wall_ms[2] = {0.0, 0.0};
+  for (const auto backend : {kernels::ExecBackend::kSimulator,
+                             kernels::ExecBackend::kNativeSwar}) {
+    const int idx = backend == kernels::ExecBackend::kSimulator ? 0 : 1;
+    runtime::BatchEngine engine({.workers = 4, .cache = nullptr});
+    (void)engine.run_batch(request_mix(1, kBackendRepeats, backend));
+    const auto t0 = Clock::now();
+    const auto results =
+        engine.run_batch(request_mix(kBackendCopies, kBackendRepeats,
+                                     backend));
+    wall_ms[idx] = ms_since(t0);
+    uint64_t prep_ns = 0;
+    uint64_t exec_ns = 0;
+    for (const auto& r : results) {
+      check(r.ok && r.run.verified,
+            std::string("backend job (") + kernels::to_string(backend) +
+                ", " + r.error + ")");
+      check(r.cache_hit, "warm backend pass replays the cache");
+      prep_ns += r.prepare_ns;
+      exec_ns += r.execute_ns;
+    }
+    exec_ms[idx] = static_cast<double>(exec_ns) / 1e6;
+    const double jobs_per_s =
+        1000.0 * static_cast<double>(results.size()) / wall_ms[idx];
+    bt.add_row({kernels::to_string(backend),
+                std::to_string(results.size()), prof::fixed(wall_ms[idx], 1),
+                prof::fixed(jobs_per_s, 0), prof::fixed(exec_ms[idx], 1),
+                prof::fixed(static_cast<double>(prep_ns) / 1e6, 1)});
+    json.record(
+        {{"kind", BenchJson::str("backend")},
+         {"backend", BenchJson::str(kernels::to_string(backend))},
+         {"jobs", BenchJson::num(static_cast<uint64_t>(results.size()))},
+         {"repeats", BenchJson::num(kBackendRepeats)},
+         {"wall_ms", BenchJson::num(wall_ms[idx])},
+         {"jobs_per_s", BenchJson::num(jobs_per_s)},
+         {"execute_ms_sum", BenchJson::num(exec_ms[idx])},
+         {"prepare_ms_sum",
+          BenchJson::num(static_cast<double>(prep_ns) / 1e6)}});
+  }
+  const double exec_speedup = exec_ms[0] / exec_ms[1];
+  const double wall_speedup = wall_ms[0] / wall_ms[1];
+  std::printf("%s\n", bt.render().c_str());
+  std::printf(
+      "native-SWAR backend speedup over the simulator: %.1fx execution, "
+      "%.1fx wall\n\n",
+      exec_speedup, wall_speedup);
+  json.record({{"kind", BenchJson::str("backend_speedup")},
+               {"execute_speedup", BenchJson::num(exec_speedup)},
+               {"wall_speedup", BenchJson::num(wall_speedup)}});
+
   if (want_json(argc, argv)) {
     const auto path = json.write();
     check(!path.empty(), "writing BENCH_runtime_throughput.json");
@@ -136,5 +201,7 @@ int main(int argc, char** argv) {
       "loop trips to request volume.\n");
 
   check(final_hit_rate > 0.9, "orchestration-cache hit rate > 90%");
+  check(exec_speedup >= 10.0,
+        "native backend >= 10x simulator execution throughput");
   return 0;
 }

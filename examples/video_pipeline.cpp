@@ -20,11 +20,17 @@
 // orchestrated exactly once for the whole stream and every later frame
 // replays the cache.
 //
-// Usage: video_pipeline [num_frames] [num_workers]
+// Usage: video_pipeline [num_frames] [num_workers] [--backend=sim|native]
+//
+// --backend=native runs every stage on the native-SWAR trace executor
+// (src/backend): same bytes, no cycle statistics, an order of magnitude
+// faster — the end-to-end composed-reference check still applies per
+// frame, so the flag doubles as a differential smoke test.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -43,15 +49,39 @@ constexpr uint64_t kFrameSeed = 0x56494452;  // per-frame RGB generator
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int frames = argc > 1 ? std::atoi(argv[1]) : 48;
-  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  int frames = 48;
+  int workers = 4;
+  auto backend = api::ExecBackend::kSimulator;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend=native") == 0) {
+      backend = api::ExecBackend::kNativeSwar;
+    } else if (std::strcmp(argv[i], "--backend=sim") == 0) {
+      backend = api::ExecBackend::kSimulator;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      // A typo'd flag must not fall through to atoi (frames=0 would make
+      // the smoke run pass vacuously).
+      std::fprintf(stderr,
+                   "unknown option '%s'\nusage: video_pipeline [frames] "
+                   "[workers] [--backend=sim|native]\n",
+                   argv[i]);
+      return 2;
+    } else if (positional == 0) {
+      frames = std::atoi(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      workers = std::atoi(argv[i]);
+      ++positional;
+    }
+    // Further positional arguments are ignored, as before the flag parser.
+  }
 
   api::Session session({.workers = workers, .cache = nullptr});
   std::printf(
-      "video_pipeline: %d frames through color->conv2d->SAD, %d workers\n"
-      "(real data flows between stages; every frame is checked against the "
-      "composed\nscalar reference end-to-end)\n\n",
-      frames, session.workers());
+      "video_pipeline: %d frames through color->conv2d->SAD, %d workers, "
+      "%s backend\n(real data flows between stages; every frame is checked "
+      "against the composed\nscalar reference end-to-end)\n\n",
+      frames, session.workers(), kernels::to_string(backend));
 
   struct PerStage {
     uint64_t cycles = 0;
@@ -84,10 +114,15 @@ int main(int argc, char** argv) {
 
         auto run =
             session.pipeline()
-                .then(session.request("Color Convert").spu(core::kConfigD))
-                .then(session.request("2D Convolution").spu(core::kConfigD))
-                .then(
-                    session.request("Motion Estimation").spu(core::kConfigD))
+                .then(session.request("Color Convert")
+                          .spu(core::kConfigD)
+                          .backend(backend))
+                .then(session.request("2D Convolution")
+                          .spu(core::kConfigD)
+                          .backend(backend))
+                .then(session.request("Motion Estimation")
+                          .spu(core::kConfigD)
+                          .backend(backend))
                 .input(std::span<const int16_t>(rgb))
                 .output(std::span<int16_t>(sads))
                 .run();

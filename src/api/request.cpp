@@ -48,6 +48,11 @@ Request& Request::pipeline_config(const sim::PipelineConfig& pc) {
   return *this;
 }
 
+Request& Request::backend(ExecBackend b) {
+  backend_ = b;
+  return *this;
+}
+
 Request& Request::input(std::span<const uint8_t> bytes) {
   buffers_.input = bytes;
   return *this;
@@ -87,6 +92,12 @@ Result<runtime::KernelJob> Request::build() const {
                     "auto_orchestrate()",
                     context};
   }
+  if (backend_ == ExecBackend::kNativeSwar && !info->native_backend) {
+    return ApiError{ErrorCode::kBackendUnsupported,
+                    "kernel's programs cannot be lowered onto the native-"
+                    "SWAR backend; use the simulator backend",
+                    context};
+  }
   if (!buffers_.empty()) {
     if (!info->buffers.supported()) {
       return ApiError{ErrorCode::kBuffersUnsupported,
@@ -116,6 +127,7 @@ Result<runtime::KernelJob> Request::build() const {
   job.kernel = info->name;  // canonical registry spelling
   job.repeats = repeats_;
   job.use_spu = use_spu_;
+  job.backend = backend_;
   job.mode = mode_;
   job.cfg = cfg_;
   if (has_opts_) job.opts = opts_;
@@ -157,6 +169,9 @@ Result<Response> to_response(runtime::JobResult r,
         break;
       case runtime::JobErrorKind::kCancelled:
         code = ErrorCode::kCancelled;
+        break;
+      case runtime::JobErrorKind::kBackendUnsupported:
+        code = ErrorCode::kBackendUnsupported;
         break;
       case runtime::JobErrorKind::kFailed:
       case runtime::JobErrorKind::kNone:

@@ -24,6 +24,9 @@ namespace subword::api {
 
 class Session;
 
+// Re-exported so facade users need not reach into kernels:: for the knob.
+using ExecBackend = kernels::ExecBackend;
+
 // What a finished request yields: the KernelRun (simulation stats,
 // bit-exact verification flag, SPU counters, orchestration report when
 // auto-orchestrated) plus the service-side economics of this execution.
@@ -61,6 +64,14 @@ class Request {
   Request& orchestrator(const core::OrchestratorOptions& opts);  // implies auto
   Request& pipeline_config(const sim::PipelineConfig& pc);
 
+  // Execution backend: the cycle-level simulator (default — the only
+  // backend with cycle statistics) or the native-SWAR trace executor
+  // (bit-identical outputs, order-of-magnitude faster, cycle stats zero).
+  // Kernels whose programs the lowering cannot prove data-independent
+  // report kBackendUnsupported at build() time (KernelInfo::native_backend
+  // enumerates support).
+  Request& backend(ExecBackend b);
+
   // User-owned buffers (kernels advertising a BufferSpec only). The spans
   // view caller memory that must stay alive until the response arrives.
   Request& input(std::span<const uint8_t> bytes);
@@ -93,6 +104,7 @@ class Request {
   std::string kernel_;
   int repeats_ = 1;
   bool use_spu_ = false;
+  ExecBackend backend_ = ExecBackend::kSimulator;
   kernels::SpuMode mode_ = kernels::SpuMode::Manual;
   core::CrossbarConfig cfg_ = core::kConfigA;
   core::OrchestratorOptions opts_{};

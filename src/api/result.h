@@ -23,6 +23,8 @@ enum class ErrorCode {
   kBuffersUnsupported,   // kernel advertises no BufferSpec
   kBufferSizeMismatch,   // bound span size != the kernel's BufferSpec
   kPipelineMismatch,     // stage N's output cannot feed stage N+1's input
+  kBackendUnsupported,   // the requested execution backend cannot run this
+                         // kernel (native lowering rejected the program)
   kSessionShutdown,      // submitted after Session::shutdown
   kCancelled,            // dropped by a cancel while queued
   kExecutionFailed,      // preparation or simulation failed
@@ -37,6 +39,7 @@ enum class ErrorCode {
     case ErrorCode::kBuffersUnsupported: return "BuffersUnsupported";
     case ErrorCode::kBufferSizeMismatch: return "BufferSizeMismatch";
     case ErrorCode::kPipelineMismatch: return "PipelineMismatch";
+    case ErrorCode::kBackendUnsupported: return "BackendUnsupported";
     case ErrorCode::kSessionShutdown: return "SessionShutdown";
     case ErrorCode::kCancelled: return "Cancelled";
     case ErrorCode::kExecutionFailed: return "ExecutionFailed";

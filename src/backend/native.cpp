@@ -1,0 +1,509 @@
+#include "backend/native.h"
+
+#include <stdexcept>
+
+#include "swar/swar.h"
+
+namespace subword::backend {
+
+namespace sw = swar::active;
+using isa::Op;
+using swar::Vec64;
+
+namespace {
+
+// -- Op bodies ---------------------------------------------------------------
+// Each is a stateless function the trace points at; the replay loop calls
+// them back to back with no decode in between.
+
+void fn_load64(const NativeOp& op, NativeState& st) {
+  st.regs.write(op.dst, Vec64{st.mem->read64(op.addr)});
+}
+
+void fn_load32(const NativeOp& op, NativeState& st) {
+  st.regs.write(op.dst,
+                Vec64{static_cast<uint64_t>(st.mem->read32(op.addr))});
+}
+
+void fn_store64(const NativeOp& op, NativeState& st) {
+  st.mem->write64(op.addr, st.regs.read(op.src).bits());
+}
+
+void fn_store32(const NativeOp& op, NativeState& st) {
+  st.mem->write32(op.addr,
+                  static_cast<uint32_t>(st.regs.read(op.src).bits()));
+}
+
+void fn_set_imm(const NativeOp& op, NativeState& st) {
+  st.regs.write(op.dst, Vec64{op.u.imm});
+}
+
+void fn_sstore16(const NativeOp& op, NativeState& st) {
+  st.mem->write16(op.addr, static_cast<uint16_t>(op.u.imm));
+}
+
+void fn_sstore32(const NativeOp& op, NativeState& st) {
+  st.mem->write32(op.addr, static_cast<uint32_t>(op.u.imm));
+}
+
+void fn_sstore64(const NativeOp& op, NativeState& st) {
+  st.mem->write64(op.addr, op.u.imm);
+}
+
+void fn_alu(const NativeOp& op, NativeState& st) {
+  const Vec64 a = st.regs.read(op.dst);
+  const Vec64 b = st.regs.read(op.src);
+  const uint64_t count =
+      (op.flags & NativeOp::kCountImm) != 0 ? op.imm8 : b.bits();
+  st.regs.write(op.dst, op.u.alu(a, b, count));
+}
+
+// Deferred scalar plane: exact replicas of the simulator's GP semantics
+// (sim/machine.cpp) for the data-dependent slice of the scalar stream.
+
+void fn_gp_set(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] = op.u.imm;
+}
+
+void fn_gp_mov(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] = st.gp[op.src];
+}
+
+void fn_gp_add(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] += st.gp[op.src];
+}
+
+void fn_gp_sub(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] -= st.gp[op.src];
+}
+
+void fn_gp_mul(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] *= st.gp[op.src];
+}
+
+void fn_gp_and(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] &= st.gp[op.src];
+}
+
+void fn_gp_or(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] |= st.gp[op.src];
+}
+
+void fn_gp_xor(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] ^= st.gp[op.src];
+}
+
+void fn_gp_addi(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] += op.u.imm;
+}
+
+void fn_gp_subi(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] -= op.u.imm;
+}
+
+void fn_gp_shli(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] <<= op.imm8;
+}
+
+void fn_gp_shri(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] >>= op.imm8;
+}
+
+void fn_gp_srai(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] = static_cast<uint64_t>(
+      static_cast<int64_t>(st.gp[op.dst]) >> op.imm8);
+}
+
+void fn_gp_load16(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] = static_cast<uint64_t>(static_cast<int64_t>(
+      static_cast<int16_t>(st.mem->read16(op.addr))));
+}
+
+void fn_gp_load32(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] = static_cast<uint64_t>(static_cast<int64_t>(
+      static_cast<int32_t>(st.mem->read32(op.addr))));
+}
+
+void fn_gp_load64(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] = st.mem->read64(op.addr);
+}
+
+void fn_gp_store16(const NativeOp& op, NativeState& st) {
+  st.mem->write16(op.addr, static_cast<uint16_t>(st.gp[op.src]));
+}
+
+void fn_gp_store32(const NativeOp& op, NativeState& st) {
+  st.mem->write32(op.addr, static_cast<uint32_t>(st.gp[op.src]));
+}
+
+void fn_gp_store64(const NativeOp& op, NativeState& st) {
+  st.mem->write64(op.addr, st.gp[op.src]);
+}
+
+void fn_gp_from_mmx(const NativeOp& op, NativeState& st) {
+  st.gp[op.dst] = st.regs.read(op.src).bits() & 0xFFFFFFFFull;
+}
+
+void fn_mmx_from_gp(const NativeOp& op, NativeState& st) {
+  st.regs.write(op.dst, Vec64{st.gp[op.src] & 0xFFFFFFFFull});
+}
+
+void fn_alu_routed(const NativeOp& op, NativeState& st) {
+  Vec64 a = st.regs.read(op.dst);
+  Vec64 b = st.regs.read(op.src);
+  const core::Route& r = st.routes[op.route];
+  // The route's U and V slices are verified identical at lowering time, so
+  // gathering through the U slice is pipe-exact.
+  if ((op.flags & NativeOp::kRouteA) != 0) {
+    a = core::apply_route(r, sim::Pipe::U, 0, st.regs, a);
+  }
+  if ((op.flags & NativeOp::kRouteB) != 0) {
+    b = core::apply_route(r, sim::Pipe::U, 1, st.regs, b);
+  }
+  // Shift counts come from the post-route operand, exactly as the
+  // simulator computes them (sim/machine.cpp).
+  const uint64_t count =
+      (op.flags & NativeOp::kCountImm) != 0 ? op.imm8 : b.bits();
+  st.regs.write(op.dst, op.u.alu(a, b, count));
+}
+
+}  // namespace
+
+void run_trace(const NativeTrace& t, NativeState& st) {
+  st.routes = t.routes.data();
+  for (const NativeOp& op : t.ops) op.fn(op, st);
+}
+
+NativeOp::AluFn resolve_alu(isa::Op op) {
+  // Mirrors sim::mmx_alu (sim/exec.cpp) case for case, but resolves the
+  // host SWAR function once at lowering time instead of per execution.
+  switch (op) {
+    case Op::MovqRR:
+      return +[](Vec64, Vec64 b, uint64_t) { return b; };
+
+    case Op::Paddb:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::add<uint8_t>(a, b); };
+    case Op::Paddw:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::add<uint16_t>(a, b); };
+    case Op::Paddd:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::add<uint32_t>(a, b); };
+    case Op::Psubb:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::sub<uint8_t>(a, b); };
+    case Op::Psubw:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::sub<uint16_t>(a, b); };
+    case Op::Psubd:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::sub<uint32_t>(a, b); };
+
+    case Op::Paddsb:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::add_sat<int8_t>(a, b); };
+    case Op::Paddsw:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::add_sat<int16_t>(a, b);
+      };
+    case Op::Paddusb:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::add_sat<uint8_t>(a, b);
+      };
+    case Op::Paddusw:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::add_sat<uint16_t>(a, b);
+      };
+    case Op::Psubsb:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::sub_sat<int8_t>(a, b); };
+    case Op::Psubsw:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::sub_sat<int16_t>(a, b);
+      };
+    case Op::Psubusb:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::sub_sat<uint8_t>(a, b);
+      };
+    case Op::Psubusw:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::sub_sat<uint16_t>(a, b);
+      };
+
+    case Op::Pmullw:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::mullo16(a, b); };
+    case Op::Pmulhw:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::mulhi16(a, b); };
+    case Op::Pmaddwd:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::maddwd(a, b); };
+
+    case Op::Pcmpeqb:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::cmpeq<uint8_t>(a, b); };
+    case Op::Pcmpeqw:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::cmpeq<uint16_t>(a, b); };
+    case Op::Pcmpeqd:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::cmpeq<uint32_t>(a, b); };
+    case Op::Pcmpgtb:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::cmpgt<int8_t>(a, b); };
+    case Op::Pcmpgtw:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::cmpgt<int16_t>(a, b); };
+    case Op::Pcmpgtd:
+      return
+          +[](Vec64 a, Vec64 b, uint64_t) { return sw::cmpgt<int32_t>(a, b); };
+
+    case Op::Pand:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::and_(a, b); };
+    case Op::Pandn:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::andn(a, b); };
+    case Op::Por:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::or_(a, b); };
+    case Op::Pxor:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::xor_(a, b); };
+
+    case Op::Psllw:
+      return +[](Vec64 a, Vec64, uint64_t c) { return sw::shl<uint16_t>(a, c); };
+    case Op::Pslld:
+      return +[](Vec64 a, Vec64, uint64_t c) { return sw::shl<uint32_t>(a, c); };
+    case Op::Psllq:
+      return +[](Vec64 a, Vec64, uint64_t c) { return sw::shl<uint64_t>(a, c); };
+    case Op::Psrlw:
+      return +[](Vec64 a, Vec64, uint64_t c) {
+        return sw::shr_logical<uint16_t>(a, c);
+      };
+    case Op::Psrld:
+      return +[](Vec64 a, Vec64, uint64_t c) {
+        return sw::shr_logical<uint32_t>(a, c);
+      };
+    case Op::Psrlq:
+      return +[](Vec64 a, Vec64, uint64_t c) {
+        return sw::shr_logical<uint64_t>(a, c);
+      };
+    case Op::Psraw:
+      return +[](Vec64 a, Vec64, uint64_t c) {
+        return sw::shr_arith<int16_t>(a, c);
+      };
+    case Op::Psrad:
+      return +[](Vec64 a, Vec64, uint64_t c) {
+        return sw::shr_arith<int32_t>(a, c);
+      };
+
+    case Op::Packsswb:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::pack_sswb(a, b); };
+    case Op::Packssdw:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::pack_ssdw(a, b); };
+    case Op::Packuswb:
+      return +[](Vec64 a, Vec64 b, uint64_t) { return sw::pack_uswb(a, b); };
+
+    case Op::Punpcklbw:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::unpack_lo<uint8_t>(a, b);
+      };
+    case Op::Punpcklwd:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::unpack_lo<uint16_t>(a, b);
+      };
+    case Op::Punpckldq:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::unpack_lo<uint32_t>(a, b);
+      };
+    case Op::Punpckhbw:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::unpack_hi<uint8_t>(a, b);
+      };
+    case Op::Punpckhwd:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::unpack_hi<uint16_t>(a, b);
+      };
+    case Op::Punpckhdq:
+      return +[](Vec64 a, Vec64 b, uint64_t) {
+        return sw::unpack_hi<uint32_t>(a, b);
+      };
+
+    default:
+      return nullptr;
+  }
+}
+
+void append_load64(NativeTrace& t, uint8_t dst, uint32_t addr) {
+  NativeOp op;
+  op.fn = fn_load64;
+  op.dst = dst;
+  op.addr = addr;
+  t.ops.push_back(op);
+}
+
+void append_load32(NativeTrace& t, uint8_t dst, uint32_t addr) {
+  NativeOp op;
+  op.fn = fn_load32;
+  op.dst = dst;
+  op.addr = addr;
+  t.ops.push_back(op);
+}
+
+void append_store64(NativeTrace& t, uint8_t src, uint32_t addr) {
+  NativeOp op;
+  op.fn = fn_store64;
+  op.src = src;
+  op.addr = addr;
+  t.ops.push_back(op);
+}
+
+void append_store32(NativeTrace& t, uint8_t src, uint32_t addr) {
+  NativeOp op;
+  op.fn = fn_store32;
+  op.src = src;
+  op.addr = addr;
+  t.ops.push_back(op);
+}
+
+void append_set_imm(NativeTrace& t, uint8_t dst, uint64_t value) {
+  NativeOp op;
+  op.fn = fn_set_imm;
+  op.dst = dst;
+  op.u.imm = value;
+  t.ops.push_back(op);
+}
+
+void append_scalar_store(NativeTrace& t, int width_bytes, uint32_t addr,
+                         uint64_t value) {
+  NativeOp op;
+  switch (width_bytes) {
+    case 2: op.fn = fn_sstore16; break;
+    case 4: op.fn = fn_sstore32; break;
+    case 8: op.fn = fn_sstore64; break;
+    default:
+      throw std::logic_error("append_scalar_store: bad width");
+  }
+  op.addr = addr;
+  op.u.imm = value;
+  t.ops.push_back(op);
+}
+
+void append_gp_set(NativeTrace& t, uint8_t dst, uint64_t value) {
+  NativeOp op;
+  op.fn = fn_gp_set;
+  op.dst = dst;
+  op.u.imm = value;
+  t.ops.push_back(op);
+}
+
+void append_gp_mov(NativeTrace& t, uint8_t dst, uint8_t src) {
+  NativeOp op;
+  op.fn = fn_gp_mov;
+  op.dst = dst;
+  op.src = src;
+  t.ops.push_back(op);
+}
+
+void append_gp_binop(NativeTrace& t, isa::Op o, uint8_t dst, uint8_t src) {
+  NativeOp op;
+  switch (o) {
+    case Op::SAdd: op.fn = fn_gp_add; break;
+    case Op::SSub: op.fn = fn_gp_sub; break;
+    case Op::SMul: op.fn = fn_gp_mul; break;
+    case Op::SAnd: op.fn = fn_gp_and; break;
+    case Op::SOr: op.fn = fn_gp_or; break;
+    case Op::SXor: op.fn = fn_gp_xor; break;
+    default:
+      throw std::logic_error("append_gp_binop: not a GP binary op");
+  }
+  op.dst = dst;
+  op.src = src;
+  t.ops.push_back(op);
+}
+
+void append_gp_immop(NativeTrace& t, isa::Op o, uint8_t dst, int64_t imm) {
+  NativeOp op;
+  switch (o) {
+    case Op::SAddi: op.fn = fn_gp_addi; break;
+    case Op::SSubi: op.fn = fn_gp_subi; break;
+    default:
+      throw std::logic_error("append_gp_immop: not a GP immediate op");
+  }
+  op.dst = dst;
+  op.u.imm = static_cast<uint64_t>(imm);
+  t.ops.push_back(op);
+}
+
+void append_gp_shift(NativeTrace& t, isa::Op o, uint8_t dst, uint8_t imm8) {
+  NativeOp op;
+  switch (o) {
+    case Op::SShli: op.fn = fn_gp_shli; break;
+    case Op::SShri: op.fn = fn_gp_shri; break;
+    case Op::SSrai: op.fn = fn_gp_srai; break;
+    default:
+      throw std::logic_error("append_gp_shift: not a GP shift op");
+  }
+  op.dst = dst;
+  op.imm8 = imm8;
+  t.ops.push_back(op);
+}
+
+void append_gp_load(NativeTrace& t, isa::Op o, uint8_t dst, uint32_t addr) {
+  NativeOp op;
+  switch (o) {
+    case Op::SLoad16: op.fn = fn_gp_load16; break;
+    case Op::SLoad32: op.fn = fn_gp_load32; break;
+    case Op::SLoad64: op.fn = fn_gp_load64; break;
+    default:
+      throw std::logic_error("append_gp_load: not a GP load op");
+  }
+  op.dst = dst;
+  op.addr = addr;
+  t.ops.push_back(op);
+}
+
+void append_gp_store(NativeTrace& t, isa::Op o, uint8_t src, uint32_t addr) {
+  NativeOp op;
+  switch (o) {
+    case Op::SStore16: op.fn = fn_gp_store16; break;
+    case Op::SStore32: op.fn = fn_gp_store32; break;
+    case Op::SStore64: op.fn = fn_gp_store64; break;
+    default:
+      throw std::logic_error("append_gp_store: not a GP store op");
+  }
+  op.src = src;
+  op.addr = addr;
+  t.ops.push_back(op);
+}
+
+void append_gp_from_mmx(NativeTrace& t, uint8_t gp_dst, uint8_t mm_src) {
+  NativeOp op;
+  op.fn = fn_gp_from_mmx;
+  op.dst = gp_dst;
+  op.src = mm_src;
+  t.ops.push_back(op);
+}
+
+void append_mmx_from_gp(NativeTrace& t, uint8_t mm_dst, uint8_t gp_src) {
+  NativeOp op;
+  op.fn = fn_mmx_from_gp;
+  op.dst = mm_dst;
+  op.src = gp_src;
+  t.ops.push_back(op);
+}
+
+void append_alu(NativeTrace& t, const isa::Inst& in, int32_t route,
+                uint8_t route_flags) {
+  NativeOp op;
+  op.fn = route >= 0 ? fn_alu_routed : fn_alu;
+  op.u.alu = resolve_alu(in.op);
+  if (op.u.alu == nullptr) {
+    throw std::logic_error("append_alu: opcode has no ALU semantics");
+  }
+  op.dst = in.dst;
+  op.src = in.src;
+  op.route = route;
+  op.flags = route_flags;
+  if (in.src_is_imm) {
+    op.flags |= NativeOp::kCountImm;
+    op.imm8 = in.imm8;
+  }
+  t.ops.push_back(op);
+}
+
+}  // namespace subword::backend

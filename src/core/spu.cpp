@@ -27,7 +27,9 @@ void Spu::go() {
   }
   go_ = true;
   cur_state_ = 0;
-  for (int i = 0; i < kNumCounters; ++i) counter_[static_cast<size_t>(i)] = prog.reload[static_cast<size_t>(i)];
+  for (int i = 0; i < kNumCounters; ++i) {
+    counter_[static_cast<size_t>(i)] = prog.reload[static_cast<size_t>(i)];
+  }
   ++stats_.activations;
 }
 
@@ -35,7 +37,9 @@ void Spu::stop() {
   go_ = false;
   cur_state_ = kIdleState;
   const auto& prog = contexts_[static_cast<size_t>(cur_context_)];
-  for (int i = 0; i < kNumCounters; ++i) counter_[static_cast<size_t>(i)] = prog.reload[static_cast<size_t>(i)];
+  for (int i = 0; i < kNumCounters; ++i) {
+    counter_[static_cast<size_t>(i)] = prog.reload[static_cast<size_t>(i)];
+  }
 }
 
 bool Spu::route(const isa::Inst& /*in*/, sim::Pipe pipe,

@@ -11,6 +11,7 @@
 #include "kernels/iir.h"
 #include "kernels/matmul.h"
 #include "kernels/motion_est.h"
+#include "kernels/runner.h"
 #include "kernels/transpose.h"
 
 namespace subword::kernels {
@@ -52,6 +53,35 @@ bool probe_manual_spu(const MediaKernel& k) {
   return false;
 }
 
+// A kernel earns the native_backend flag only if every preparation the
+// differential suite exercises lowers: the baseline, the manual variant
+// under each config where it is realizable, and the auto-orchestrated
+// program under configs A and D. Probing runs the real lowering walker, so
+// the flag can never drift from what the backend actually supports.
+bool probe_native_backend(const MediaKernel& k, bool has_manual) {
+  try {
+    auto base = prepare_baseline(k, 1);
+    lower_native(k, base);
+    for (const auto& cfg : {core::kConfigA, core::kConfigD}) {
+      if (has_manual) {
+        try {
+          auto manual = prepare_spu(k, 1, cfg, SpuMode::Manual);
+          lower_native(k, manual);
+        } catch (const std::logic_error&) {
+          // Variant not realizable under this geometry — the simulator
+          // backend cannot run it either, so it does not count against
+          // native support.
+        }
+      }
+      auto autop = prepare_spu(k, 1, cfg, SpuMode::Auto);
+      lower_native(k, autop);
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 std::vector<KernelInfo> build_infos() {
   std::vector<KernelInfo> infos;
   const auto kernels = all_kernels();
@@ -63,6 +93,7 @@ std::vector<KernelInfo> build_infos() {
     info.description = k.description();
     info.paper_suite = i < kPaperSuiteSize;
     info.has_manual_spu = probe_manual_spu(k);
+    info.native_backend = probe_native_backend(k, info.has_manual_spu);
     info.buffers = k.buffer_spec();
     infos.push_back(std::move(info));
   }

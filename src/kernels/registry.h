@@ -36,6 +36,12 @@ struct KernelInfo {
   std::string description;
   bool paper_suite = false;     // one of the Figure-9 rows
   bool has_manual_spu = false;  // build_spu returns a program
+  // Executable on ExecBackend::kNativeSwar: probed at registry init by
+  // actually lowering the kernel's baseline, manual (where realizable) and
+  // auto-orchestrated programs under configs A and D. False means the
+  // lowering proof failed somewhere (data-dependent control flow) and the
+  // facade reports kBackendUnsupported for native requests.
+  bool native_backend = false;
   BufferSpec buffers;           // zero sizes: synthetic workload only
 };
 

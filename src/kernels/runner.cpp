@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "backend/lowering.h"
+#include "backend/native.h"
 #include "core/mmio.h"
 
 namespace subword::kernels {
@@ -136,6 +138,73 @@ KernelRun execute_prepared(const MediaKernel& k, const PreparedProgram& p,
     std::copy(bytes.begin(), bytes.end(), buffers->output.begin());
   }
   if (spu) out.spu = spu->run_stats();
+  return out;
+}
+
+void lower_native(const MediaKernel& k, PreparedProgram& p) {
+  backend::LoweringSpec spec;
+  spec.cfg = p.cfg;
+  spec.use_spu = p.use_spu;
+  spec.num_contexts = p.num_contexts;
+  spec.mmio_base = p.mmio_base;
+  spec.mem_bytes = kMemBytes;
+  spec.init = [&k](sim::Memory& mem) { k.init_memory(mem); };
+  const BufferSpec bs = k.buffer_spec();
+  if (bs.supported()) {
+    // Only the primary input window varies per execution; auxiliary
+    // tables keep their deterministic synthetic values (kernel.h).
+    spec.data_regions.push_back({bs.input_addr, bs.input_bytes});
+  }
+  p.native = std::make_shared<const backend::NativeTrace>(
+      backend::lower(*p.program, spec));
+}
+
+KernelRun execute_native(const MediaKernel& k, const PreparedProgram& p,
+                         sim::Memory* scratch, const BufferBinding* buffers) {
+  if (p.native == nullptr) {
+    throw std::logic_error("execute_native: prepared program for '" +
+                           k.name() + "' carries no native trace; prepare "
+                           "with lower_native first");
+  }
+  const bool bound = buffers != nullptr && !buffers->empty();
+  BufferSpec spec;
+  if (bound) {
+    spec = k.buffer_spec();
+    check_binding(k, spec, *buffers);
+  }
+
+  KernelRun out;
+  out.orchestration = p.orchestration;
+
+  std::optional<sim::Memory> local;
+  sim::Memory* mem;
+  if (scratch != nullptr && scratch->size() == kMemBytes) {
+    scratch->clear();
+    scratch->unmap_device();
+    mem = scratch;
+  } else {
+    local.emplace(kMemBytes);
+    mem = &*local;
+  }
+
+  k.init_memory(*mem);
+  const bool bound_input = bound && !buffers->input.empty();
+  if (bound_input) k.bind_input(*mem, buffers->input);
+
+  backend::NativeState st;
+  st.mem = mem;
+  backend::run_trace(*p.native, st);
+
+  // No cycle model ran; report the dynamic instruction count the trace
+  // replaced so throughput accounting stays meaningful.
+  out.stats.instructions = p.native->source_instructions;
+  out.verified = bound_input ? k.verify_bound(*mem, buffers->input)
+                             : k.verify(*mem);
+  if (bound && out.verified && !buffers->output.empty()) {
+    const auto bytes =
+        mem->read_vector<uint8_t>(spec.output_addr, spec.output_bytes);
+    std::copy(bytes.begin(), bytes.end(), buffers->output.begin());
+  }
   return out;
 }
 

@@ -38,7 +38,29 @@
 #include "kernels/kernel.h"
 #include "sim/machine.h"
 
+namespace subword::backend {
+struct NativeTrace;
+}  // namespace subword::backend
+
 namespace subword::kernels {
+
+// Which executor replays a prepared program.
+//  * kSimulator: the cycle-level machine in src/sim — full pairing, branch
+//    prediction and stall modeling; the only backend that produces cycle
+//    statistics.
+//  * kNativeSwar: the pre-decoded host-SWAR trace executor in src/backend —
+//    bit-identical outputs, no cycle model, one to two orders of magnitude
+//    faster. Only available for programs the lowering can prove
+//    data-independent (see backend/lowering.h); KernelInfo::native_backend
+//    says which registry kernels qualify.
+enum class ExecBackend : uint8_t {
+  kSimulator,
+  kNativeSwar,
+};
+
+[[nodiscard]] constexpr const char* to_string(ExecBackend b) {
+  return b == ExecBackend::kNativeSwar ? "native" : "simulator";
+}
 
 struct KernelRun {
   sim::RunStats stats;
@@ -71,6 +93,12 @@ struct PreparedProgram {
   // variants hardcode (Manual).
   int num_contexts = 8;
   uint64_t mmio_base = core::SpuMmio::kDefaultBase;
+  // The native backend's pre-decoded op trace, attached by lower_native
+  // for ExecBackend::kNativeSwar preparations (null otherwise). Like the
+  // other members it is written once during prepare and immutable
+  // thereafter; the orchestration cache keys preparations by backend, so a
+  // simulator entry never carries a trace and a native entry always does.
+  std::shared_ptr<const backend::NativeTrace> native;
 };
 
 // Build the baseline MMX program (no SPU pipeline stage).
@@ -108,6 +136,27 @@ struct PreparedProgram {
                                          sim::Machine* scratch = nullptr,
                                          const BufferBinding* buffers =
                                              nullptr);
+
+// Lower `p` onto the native backend and attach the op trace (the second
+// half of a kNativeSwar preparation). The kernel supplies the
+// deterministic arena initialisation and the caller-data window the
+// lowering proof is relative to (see backend/lowering.h). Throws
+// backend::LoweringError when the program cannot be proven replayable;
+// p is left unchanged then.
+void lower_native(const MediaKernel& k, PreparedProgram& p);
+
+// Replay a natively-lowered program (p.native must be set): arena
+// initialised and verified exactly as execute_prepared does, but the
+// program body runs as the pre-decoded host-SWAR trace — no cycle
+// simulation, so the returned stats carry instruction counts only. When
+// `scratch` is non-null and sized like the arena it is cleared and reused
+// (the batch runtime's per-worker native arena); it is the caller's
+// exclusive resource, exactly like execute_prepared's scratch Machine.
+[[nodiscard]] KernelRun execute_native(const MediaKernel& k,
+                                       const PreparedProgram& p,
+                                       sim::Memory* scratch = nullptr,
+                                       const BufferBinding* buffers =
+                                           nullptr);
 
 // Legacy wrappers (prepare + execute in one call). Kept for tests, benches
 // and one-shot tooling; new consumers should go through the api:: facade

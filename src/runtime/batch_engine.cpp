@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "backend/lowering.h"
 #include "kernels/registry.h"
 
 namespace subword::runtime {
@@ -121,7 +122,7 @@ EngineStats BatchEngine::stats() const {
 }
 
 void BatchEngine::worker_loop(int worker_id) {
-  std::unique_ptr<sim::Machine> scratch;
+  WorkerScratch scratch;
   for (;;) {
     Task task;
     {
@@ -140,38 +141,53 @@ void BatchEngine::worker_loop(int worker_id) {
 }
 
 JobResult BatchEngine::run_job(const KernelJob& job, int worker_id,
-                               std::unique_ptr<sim::Machine>& scratch) {
+                               WorkerScratch& scratch) {
   JobResult r;
   r.worker = worker_id;
+  const bool native = job.backend == kernels::ExecBackend::kNativeSwar;
   try {
     const auto kernel = kernels::make_kernel(job.kernel);
 
     const OrchestrationKey key = make_key(job.kernel, job.repeats, job.mode,
                                           job.use_spu, job.cfg, job.opts,
-                                          job.pc);
+                                          job.pc, job.backend);
     bool prepared_here = false;
     const uint64_t t0 = now_ns();
     const auto prepared = cache_->get_or_prepare(key, [&] {
       prepared_here = true;
-      if (!job.use_spu) {
-        return kernels::prepare_baseline(*kernel, job.repeats, job.pc);
-      }
-      return kernels::prepare_spu(*kernel, job.repeats, job.cfg, job.mode,
-                                  job.pc, &job.opts);
+      auto p = job.use_spu
+                   ? kernels::prepare_spu(*kernel, job.repeats, job.cfg,
+                                          job.mode, job.pc, &job.opts)
+                   : kernels::prepare_baseline(*kernel, job.repeats, job.pc);
+      // Lowering is part of the prepare half: the trace is cached with the
+      // program and replayed decode-free ever after.
+      if (native) kernels::lower_native(*kernel, p);
+      return p;
     });
     const uint64_t t1 = now_ns();
     r.cache_hit = !prepared_here;
     r.prepare_ns = t1 - t0;
 
-    if (!scratch) {
-      scratch = std::make_unique<sim::Machine>(prepared->program,
-                                               kernels::kMemBytes,
-                                               prepared->pc);
+    if (native) {
+      if (!scratch.arena) {
+        scratch.arena = std::make_unique<sim::Memory>(kernels::kMemBytes);
+      }
+      r.run = kernels::execute_native(*kernel, *prepared,
+                                      scratch.arena.get(), &job.buffers);
+    } else {
+      if (!scratch.machine) {
+        scratch.machine = std::make_unique<sim::Machine>(
+            prepared->program, kernels::kMemBytes, prepared->pc);
+      }
+      r.run = kernels::execute_prepared(*kernel, *prepared,
+                                        scratch.machine.get(), &job.buffers);
     }
-    r.run = kernels::execute_prepared(*kernel, *prepared, scratch.get(),
-                                      &job.buffers);
     r.execute_ns = now_ns() - t1;
     r.ok = true;
+  } catch (const backend::LoweringError& e) {
+    r.ok = false;
+    r.kind = JobErrorKind::kBackendUnsupported;
+    r.error = e.what();
   } catch (const std::exception& e) {
     r.ok = false;
     r.kind = JobErrorKind::kFailed;

@@ -30,6 +30,11 @@ struct KernelJob {
   int repeats = 1;              // problem size knob
   bool use_spu = true;          // false: baseline MMX run
   kernels::SpuMode mode = kernels::SpuMode::Auto;
+  // Which executor replays the prepared program. kNativeSwar runs the
+  // pre-decoded host-SWAR trace (bit-identical outputs, no cycle stats);
+  // jobs whose program the lowering rejects fail with
+  // JobErrorKind::kBackendUnsupported.
+  kernels::ExecBackend backend = kernels::ExecBackend::kSimulator;
   core::CrossbarConfig cfg = core::kConfigA;
   core::OrchestratorOptions opts{};  // Auto path; opts.config is overridden
   sim::PipelineConfig pc{};
@@ -43,10 +48,11 @@ struct KernelJob {
 // boundary — every outcome is delivered through the future, which is what
 // the api:: facade converts into its Result/ApiError convention.
 enum class JobErrorKind {
-  kNone,       // ok
-  kRejected,   // submitted after shutdown; never entered the queue
-  kCancelled,  // dropped by cancel() while still queued
-  kFailed,     // preparation or execution failed (error has the details)
+  kNone,                 // ok
+  kRejected,             // submitted after shutdown; never entered the queue
+  kCancelled,            // dropped by cancel() while still queued
+  kFailed,               // preparation or execution failed (error has details)
+  kBackendUnsupported,   // native lowering rejected the program
 };
 
 struct JobResult {
@@ -120,9 +126,16 @@ class BatchEngine {
     std::promise<JobResult> promise;
   };
 
+  // Per-worker reusable execution state: the simulator's Machine and the
+  // native backend's arena, both reset between jobs, never reallocated.
+  struct WorkerScratch {
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<sim::Memory> arena;
+  };
+
   void worker_loop(int worker_id);
   [[nodiscard]] JobResult run_job(const KernelJob& job, int worker_id,
-                                  std::unique_ptr<sim::Machine>& scratch);
+                                  WorkerScratch& scratch);
   void finish(Task&& task, JobResult&& result);
 
   std::shared_ptr<OrchestrationCache> cache_;

@@ -87,11 +87,13 @@ OrchestrationKey make_key(const std::string& kernel, int repeats,
                           kernels::SpuMode mode, bool use_spu,
                           const core::CrossbarConfig& cfg,
                           const core::OrchestratorOptions& opts,
-                          const sim::PipelineConfig& pc) {
+                          const sim::PipelineConfig& pc,
+                          kernels::ExecBackend backend) {
   OrchestrationKey k;
   k.kernel = kernel;
   k.repeats = repeats;
   k.use_spu = use_spu;
+  k.backend = backend;
   // Normalize fields that cannot affect the preparation, so equivalent
   // requests share one entry: baseline jobs ignore the crossbar, the
   // orchestrator options and the mode entirely; manual SPU programs ignore

@@ -34,6 +34,11 @@ struct OrchestrationKey {
   int repeats = 1;
   kernels::SpuMode mode = kernels::SpuMode::Auto;
   bool use_spu = true;
+  // Backend identity: a kNativeSwar preparation carries the lowered op
+  // trace alongside the program, so it must never be shared with a
+  // simulator preparation of the same shape — one entry per
+  // (kernel, cfg, backend).
+  kernels::ExecBackend backend = kernels::ExecBackend::kSimulator;
   // CrossbarConfig identity.
   int input_ports = 0;
   int output_ports = 0;
@@ -55,6 +60,7 @@ struct OrchestrationKey {
                          const OrchestrationKey& b) {
     return a.kernel == b.kernel && a.repeats == b.repeats &&
            a.mode == b.mode && a.use_spu == b.use_spu &&
+           a.backend == b.backend &&
            a.input_ports == b.input_ports &&
            a.output_ports == b.output_ports && a.port_bits == b.port_bits &&
            a.modes == b.modes && a.max_contexts == b.max_contexts &&
@@ -80,7 +86,8 @@ struct OrchestrationKeyHash {
         (k.modes ? 0x200u : 0u) |
         (k.orchestrate_empty_loops ? 0x400u : 0u) |
         (k.dual_issue ? 0x800u : 0u) |
-        (k.extra_spu_stage ? 0x1000u : 0u));
+        (k.extra_spu_stage ? 0x1000u : 0u) |
+        (static_cast<uint64_t>(k.backend) << 13));
     mix(k.max_cycles);
     mix(static_cast<uint64_t>(k.input_ports) |
         (static_cast<uint64_t>(k.output_ports) << 8) |
@@ -149,11 +156,10 @@ class OrchestrationCache {
 };
 
 // Key for a job as the batch engine prepares it.
-[[nodiscard]] OrchestrationKey make_key(const std::string& kernel,
-                                        int repeats, kernels::SpuMode mode,
-                                        bool use_spu,
-                                        const core::CrossbarConfig& cfg,
-                                        const core::OrchestratorOptions& opts,
-                                        const sim::PipelineConfig& pc);
+[[nodiscard]] OrchestrationKey make_key(
+    const std::string& kernel, int repeats, kernels::SpuMode mode,
+    bool use_spu, const core::CrossbarConfig& cfg,
+    const core::OrchestratorOptions& opts, const sim::PipelineConfig& pc,
+    kernels::ExecBackend backend = kernels::ExecBackend::kSimulator);
 
 }  // namespace subword::runtime

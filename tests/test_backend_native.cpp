@@ -1,0 +1,342 @@
+// test_backend_native.cpp — differential verification of the native-SWAR
+// execution backend against the cycle-level simulator.
+//
+// The backend's whole contract is bit-exactness: replaying a lowered trace
+// must leave the memory arena and the MMX register file byte-identical to
+// simulating the program it was lowered from. The suite checks that for
+// every lowerable registry kernel across baseline / manual SPU / auto-
+// orchestrated preparations under crossbar configs A and D, with both
+// synthetic and caller-bound buffers, at the runner, engine (cache) and
+// facade (Request/Pipeline) levels — plus the lowering walker's rejection
+// paths for programs that genuinely cannot be lowered.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "backend/lowering.h"
+#include "backend/native.h"
+#include "core/mmio.h"
+#include "core/setup.h"
+#include "core/spu.h"
+#include "isa/assembler.h"
+#include "kernels/registry.h"
+#include "kernels/runner.h"
+#include "kernels/video_pipeline_ref.h"
+#include "ref/workload.h"
+#include "sim/machine.h"
+
+namespace subword {
+namespace {
+
+using kernels::ExecBackend;
+using kernels::MediaKernel;
+using kernels::PreparedProgram;
+using kernels::SpuMode;
+
+// Simulate a prepared program on a fresh machine (the runner's attach
+// logic, kept local so the test can inspect the machine afterwards).
+struct SimResult {
+  std::vector<uint8_t> arena;
+  sim::MmxRegFile regs;
+  bool verified = false;
+};
+
+SimResult simulate(const MediaKernel& k, const PreparedProgram& p) {
+  sim::Machine m(p.program, kernels::kMemBytes, p.pc);
+  std::optional<core::Spu> spu;
+  std::optional<core::SpuMmio> mmio;
+  if (p.use_spu) {
+    spu.emplace(p.cfg, p.num_contexts);
+    mmio.emplace(&*spu);
+    m.memory().map_device(p.mmio_base, core::SpuMmio::kWindowSize, &*mmio);
+    m.set_router(&*spu);
+  }
+  k.init_memory(m.memory());
+  m.run();
+  SimResult r;
+  r.arena = m.memory().read_vector<uint8_t>(0, kernels::kMemBytes);
+  r.regs = m.mmx();
+  r.verified = k.verify(m.memory());
+  return r;
+}
+
+// Replay the same preparation natively and compare arena + register file.
+void expect_bitexact(const MediaKernel& k, PreparedProgram p,
+                     const std::string& what) {
+  SCOPED_TRACE(what);
+  const SimResult sim = simulate(k, p);
+  ASSERT_TRUE(sim.verified) << "simulator run failed verification";
+
+  ASSERT_NO_THROW(kernels::lower_native(k, p));
+  sim::Memory mem(kernels::kMemBytes);
+  k.init_memory(mem);
+  backend::NativeState st;
+  st.mem = &mem;
+  backend::run_trace(*p.native, st);
+
+  EXPECT_TRUE(k.verify(mem)) << "native run failed verification";
+  const auto native_arena = mem.read_vector<uint8_t>(0, kernels::kMemBytes);
+  ASSERT_EQ(sim.arena.size(), native_arena.size());
+  // Whole-arena comparison: every byte the program touched — outputs,
+  // scratch, everything — must match, not just the verified region.
+  size_t mismatches = 0;
+  for (size_t i = 0; i < sim.arena.size(); ++i) {
+    if (sim.arena[i] != native_arena[i] && ++mismatches <= 4) {
+      ADD_FAILURE() << "arena byte " << i << ": sim "
+                    << static_cast<int>(sim.arena[i]) << " native "
+                    << static_cast<int>(native_arena[i]);
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << "total arena mismatches";
+  for (int r = 0; r < isa::kNumMmxRegs; ++r) {
+    EXPECT_EQ(sim.regs.read(static_cast<uint8_t>(r)).bits(),
+              st.regs.read(static_cast<uint8_t>(r)).bits())
+        << "MM" << r;
+  }
+}
+
+// Every lowerable registry kernel, every preparation shape the facade can
+// produce, configs A and D, with loop re-entry (repeats=2).
+TEST(BackendNativeDifferential, EveryLowerableKernelEveryPreparation) {
+  constexpr int kRepeats = 2;
+  for (const auto& info : kernels::kernel_infos()) {
+    if (!info.native_backend) continue;
+    const auto k = kernels::make_kernel(info.name);
+    expect_bitexact(*k, kernels::prepare_baseline(*k, kRepeats),
+                    info.name + "/baseline");
+    for (const auto& cfg : {core::kConfigA, core::kConfigD}) {
+      const std::string cfg_name(cfg.name);
+      if (info.has_manual_spu) {
+        try {
+          auto manual =
+              kernels::prepare_spu(*k, kRepeats, cfg, SpuMode::Manual);
+          expect_bitexact(*k, std::move(manual),
+                          info.name + "/manual/" + cfg_name);
+        } catch (const std::logic_error&) {
+          // Manual variant not realizable under this geometry; the
+          // simulator cannot run it either.
+        }
+      }
+      expect_bitexact(*k,
+                      kernels::prepare_spu(*k, kRepeats, cfg, SpuMode::Auto),
+                      info.name + "/auto/" + cfg_name);
+    }
+  }
+}
+
+// The whole registry lowers today — lock that in so a kernel change that
+// silently loses native support fails loudly here instead of falling back.
+TEST(BackendNativeDifferential, WholeRegistryIsLowerable) {
+  for (const auto& info : kernels::kernel_infos()) {
+    EXPECT_TRUE(info.native_backend) << info.name;
+  }
+}
+
+// Caller-bound buffers: the native path must honor bind_input/verify_bound
+// and produce the same output bytes the simulator produces for the same
+// input, end to end through one Session.
+TEST(BackendNativeDifferential, BoundBuffersMatchSimulatorThroughFacade) {
+  api::Session session({.workers = 2, .cache = nullptr});
+  for (const auto& info : session.kernels()) {
+    if (!info.native_backend || !info.buffers.supported()) continue;
+    SCOPED_TRACE(info.name);
+    // In-contract input: the kernel's own synthetic workload bytes.
+    sim::Memory staging(kernels::kMemBytes);
+    kernels::make_kernel(info.name)->init_memory(staging);
+    const auto input = staging.read_vector<uint8_t>(
+        info.buffers.input_addr, info.buffers.input_bytes);
+
+    std::vector<uint8_t> sim_out(info.buffers.output_bytes, 0xAA);
+    std::vector<uint8_t> native_out(info.buffers.output_bytes, 0x55);
+    auto sim_resp = session.request(info.name)
+                        .spu(core::kConfigD)
+                        .auto_orchestrate()
+                        .input(std::span<const uint8_t>(input))
+                        .output(std::span<uint8_t>(sim_out))
+                        .run();
+    ASSERT_TRUE(sim_resp.ok()) << sim_resp.error().to_string();
+    auto native_resp = session.request(info.name)
+                           .spu(core::kConfigD)
+                           .auto_orchestrate()
+                           .backend(ExecBackend::kNativeSwar)
+                           .input(std::span<const uint8_t>(input))
+                           .output(std::span<uint8_t>(native_out))
+                           .run();
+    ASSERT_TRUE(native_resp.ok()) << native_resp.error().to_string();
+    EXPECT_EQ(sim_out, native_out);
+  }
+}
+
+// Regression (cache keying): one Session, the same kernel/config under
+// both backends — exactly one cache entry and one miss per (kernel, cfg,
+// backend) key; replays hit.
+TEST(BackendNative, OneCacheEntryPerBackendKey) {
+  api::Session session({.workers = 2, .cache = nullptr});
+  for (int round = 0; round < 2; ++round) {
+    for (const auto backend :
+         {ExecBackend::kSimulator, ExecBackend::kNativeSwar}) {
+      auto resp = session.request("fir12")
+                      .repeats(2)
+                      .spu(core::kConfigA)
+                      .auto_orchestrate()
+                      .backend(backend)
+                      .run();
+      ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+      EXPECT_EQ(resp->cache_hit, round > 0);
+    }
+  }
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.cache.entries, 2u);
+  EXPECT_EQ(stats.cache.misses, 2u);
+  EXPECT_EQ(stats.cache.hits, 2u);
+}
+
+// The native backend runs no cycle model: stats report the dynamic
+// instruction count of the replaced stream and zero cycles.
+TEST(BackendNative, StatsReportInstructionsNotCycles) {
+  api::Session session({.workers = 1, .cache = nullptr});
+  auto sim_resp = session.request("fir12").repeats(2).run();
+  ASSERT_TRUE(sim_resp.ok()) << sim_resp.error().to_string();
+  auto native_resp = session.request("fir12")
+                         .repeats(2)
+                         .backend(ExecBackend::kNativeSwar)
+                         .run();
+  ASSERT_TRUE(native_resp.ok()) << native_resp.error().to_string();
+  EXPECT_EQ(native_resp->run.stats.cycles, 0u);
+  EXPECT_EQ(native_resp->run.stats.instructions,
+            sim_resp->run.stats.instructions);
+}
+
+// Pipeline-level differential: the whole video path executed on the native
+// backend matches the composed scalar reference and the simulator-backend
+// pipeline, frame for frame.
+TEST(BackendNativeDifferential, VideoPipelineFullyNative) {
+  api::Session session({.workers = 2, .cache = nullptr});
+  for (uint64_t frame = 0; frame < 3; ++frame) {
+    SCOPED_TRACE("frame " + std::to_string(frame));
+    const auto rgb = ref::make_pixels(3 * 256, 0x56494452 + frame);
+    auto build = [&](ExecBackend backend) {
+      return session.pipeline()
+          .then(session.request("Color Convert")
+                    .spu(core::kConfigD)
+                    .backend(backend))
+          .then(session.request("2D Convolution")
+                    .spu(core::kConfigD)
+                    .backend(backend))
+          .then(session.request("Motion Estimation")
+                    .spu(core::kConfigD)
+                    .backend(backend))
+          .input(std::span<const int16_t>(rgb))
+          .run();
+    };
+    auto sim_run = build(ExecBackend::kSimulator);
+    ASSERT_TRUE(sim_run.ok()) << sim_run.error().to_string();
+    auto native_run = build(ExecBackend::kNativeSwar);
+    ASSERT_TRUE(native_run.ok()) << native_run.error().to_string();
+    EXPECT_EQ(sim_run->output, native_run->output);
+
+    const auto want = kernels::composed_video_pipeline_ref(rgb);
+    const auto got = kernels::bytes_as_i16(native_run->output);
+    EXPECT_EQ(want, got);
+  }
+}
+
+// -- Lowering rejection paths ------------------------------------------------
+
+backend::LoweringSpec plain_spec() {
+  backend::LoweringSpec spec;
+  spec.mem_bytes = kernels::kMemBytes;
+  return spec;
+}
+
+TEST(BackendLowering, RejectsDataDependentBranch) {
+  isa::Assembler a;
+  a.li(isa::R1, 5);
+  a.movd_to_mmx(isa::MM0, isa::R1);
+  a.movd_from_mmx(isa::R2, isa::MM0);  // R2 is data from here on
+  a.label("loop");
+  a.nop();
+  a.loopnz(isa::R2, "loop");  // data-dependent trip count
+  a.halt();
+  EXPECT_THROW((void)backend::lower(a.take(), plain_spec()),
+               backend::LoweringError);
+}
+
+TEST(BackendLowering, RejectsDataDependentAddress) {
+  isa::Assembler a;
+  a.li(isa::R1, 0x1000);
+  a.movd_to_mmx(isa::MM0, isa::R1);
+  a.movd_from_mmx(isa::R2, isa::MM0);
+  a.movq_load(isa::MM1, isa::R2, 0);  // base register carries data
+  a.halt();
+  EXPECT_THROW((void)backend::lower(a.take(), plain_spec()),
+               backend::LoweringError);
+}
+
+TEST(BackendLowering, RejectsDataDependentSpuProgramming) {
+  isa::Assembler a;
+  core::emit_spu_base(a, core::SpuMmio::kDefaultBase);
+  a.li(isa::R1, 7);
+  a.movd_to_mmx(isa::MM0, isa::R1);
+  a.movd_from_mmx(isa::R2, isa::MM0);
+  a.st32(core::kSpuBaseReg, 0, isa::R2);  // CONFIG <- data
+  a.halt();
+  auto spec = plain_spec();
+  spec.use_spu = true;
+  EXPECT_THROW((void)backend::lower(a.take(), spec), backend::LoweringError);
+}
+
+TEST(BackendLowering, RejectsRunawayStreams) {
+  isa::Assembler a;
+  a.li(isa::R1, 1 << 20);
+  a.label("spin");
+  a.nop();
+  a.loopnz(isa::R1, "spin");
+  a.halt();
+  auto spec = plain_spec();
+  spec.max_ops = 1024;
+  EXPECT_THROW((void)backend::lower(a.take(), spec), backend::LoweringError);
+}
+
+// Data may flow through the scalar pipe — the walker defers those
+// instructions as native GP ops instead of bailing. Exercise the
+// mechanism in isolation (the IIR/SAD kernels exercise it at scale):
+// MMX data spilled to GP, shifted, mixed with a constant, stored, and
+// moved back into MMX; the replay must match the simulator byte for byte.
+TEST(BackendLowering, DefersDataDependentScalarComputation) {
+  isa::Assembler a;
+  a.li(isa::R1, 0x7BCD);
+  a.movd_to_mmx(isa::MM0, isa::R1);
+  a.paddw(isa::MM0, isa::MM0);         // MM0 now counts as data
+  a.movd_from_mmx(isa::R2, isa::MM0);  // deferred from here on
+  a.sshli(isa::R2, 3);
+  a.saddi(isa::R2, 17);
+  a.li(isa::R4, 21);
+  a.smul(isa::R2, isa::R4);            // deferred x concrete
+  a.li(isa::R3, 0x2000);
+  a.st32(isa::R3, 0, isa::R2);
+  a.st16(isa::R3, 8, isa::R2);
+  a.movd_to_mmx(isa::MM1, isa::R2);
+  a.halt();
+  const isa::Program prog = a.take();
+
+  sim::Machine m(prog, kernels::kMemBytes);
+  m.run();
+
+  const auto trace = backend::lower(prog, plain_spec());
+  sim::Memory mem(kernels::kMemBytes);
+  backend::NativeState st;
+  st.mem = &mem;
+  backend::run_trace(trace, st);
+
+  EXPECT_EQ(m.memory().read_vector<uint8_t>(0x2000, 16),
+            mem.read_vector<uint8_t>(0x2000, 16));
+  EXPECT_EQ(m.mmx().read(isa::MM1).bits(), st.regs.read(isa::MM1).bits());
+}
+
+}  // namespace
+}  // namespace subword

@@ -52,7 +52,7 @@ T oracle_sat_sub(T a, T b) {
   return static_cast<T>(s);
 }
 
-std::vector<BinOpCase> binop_cases() {
+std::vector<BinOpCase> build_binop_cases() {
   std::vector<BinOpCase> cases;
   auto add_case = [&](std::string name, auto pfn, auto sfn, auto ofn) {
     cases.push_back({std::move(name), pfn, sfn, ofn});
@@ -277,6 +277,14 @@ std::vector<BinOpCase> binop_cases() {
              r.set_lane<uint32_t>(1, b.lane<uint32_t>(1));
              return r;
            });
+  return cases;
+}
+
+// Built once: callers bind references into the returned vector (the
+// ASan+UBSan job caught the by-value original dangling at exactly that
+// use).
+const std::vector<BinOpCase>& binop_cases() {
+  static const std::vector<BinOpCase> cases = build_binop_cases();
   return cases;
 }
 
