@@ -151,6 +151,11 @@ int main(int argc, char** argv) {
     wall_ms[idx] = ms_since(t0);
     uint64_t prep_ns = 0;
     uint64_t exec_ns = 0;
+    // Cycle stats are backend-optional (RunStats::has_cycles): the native
+    // records carry JSON null instead of a poisonous zero, and the
+    // simulator total only sums genuine measurements.
+    uint64_t cycles_total = 0;
+    bool all_cycles = true;
     for (const auto& r : results) {
       check(r.ok && r.run.verified,
             std::string("backend job (") + kernels::to_string(backend) +
@@ -158,6 +163,11 @@ int main(int argc, char** argv) {
       check(r.cache_hit, "warm backend pass replays the cache");
       prep_ns += r.prepare_ns;
       exec_ns += r.execute_ns;
+      if (const auto c = r.run.stats.cycles_opt()) {
+        cycles_total += *c;
+      } else {
+        all_cycles = false;
+      }
     }
     exec_ms[idx] = static_cast<double>(exec_ns) / 1e6;
     const double jobs_per_s =
@@ -173,6 +183,8 @@ int main(int argc, char** argv) {
          {"repeats", BenchJson::num(kBackendRepeats)},
          {"wall_ms", BenchJson::num(wall_ms[idx])},
          {"jobs_per_s", BenchJson::num(jobs_per_s)},
+         {"cycles_total",
+          all_cycles ? BenchJson::num(cycles_total) : "null"},
          {"execute_ms_sum", BenchJson::num(exec_ms[idx])},
          {"prepare_ms_sum",
           BenchJson::num(static_cast<double>(prep_ns) / 1e6)}});

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "kernels/registry.h"
+#include "runtime/planner.h"
 
 using namespace subword;
 
@@ -30,18 +31,27 @@ int main(int argc, char** argv) {
   const auto& infos = kernels::kernel_infos();
 
   std::printf(
-      "| Kernel | Workload | Layers | Suite | Backends | Tested by | "
-      "Benched by |\n");
-  std::printf("|---|---|---|---|---|---|---|\n");
+      "| Kernel | Workload | Layers | Suite | Backends | Planned? | "
+      "Tested by | Benched by |\n");
+  std::printf("|---|---|---|---|---|---|---|---|\n");
   for (const auto& info : infos) {
+    // The cost-model planner's pick at repeats=8 (full search space) —
+    // what `auto_plan()` resolves to for a mid-size request today.
+    const auto plan = runtime::plan_kernel(info.name, 8);
     std::printf(
-        "| %s | %s | ref, MMX%s, auto | %s | %s | `test_kernels{,_spu}`, "
-        "`test_registry_property` | `%s` |\n",
+        "| %s | %s | ref, MMX%s, auto | %s | %s | `%s` | "
+        "`test_kernels{,_spu}`, `test_registry_property` | `%s` |\n",
         info.name.c_str(), info.description.c_str(),
-        info.has_manual_spu ? ", SPU" : "",
+        info.has_manual_spu() ? ", SPU" : "",
         info.paper_suite ? "paper (Fig. 9)" : "extended",
-        info.native_backend ? "sim, native" : "sim",
+        info.native_backend() ? "sim, native" : "sim",
+        plan.summary.choice_label().c_str(),
         info.paper_suite ? "fig9_cycles" : "ablation_new_workloads");
   }
+  std::printf(
+      "\n*Planned?* is what the cost-model planner (`auto_plan()`, "
+      "[docs/PLANNER.md](docs/PLANNER.md)) chooses at repeats=8: the "
+      "cheapest configuration whose removed permutations outweigh its "
+      "startup cost, or `baseline` when nothing is removable.\n");
   return 0;
 }

@@ -21,11 +21,18 @@
 // replays the cache.
 //
 // Usage: video_pipeline [num_frames] [num_workers] [--backend=sim|native]
+//                       [--plan]
 //
 // --backend=native runs every stage on the native-SWAR trace executor
 // (src/backend): same bytes, no cycle statistics, an order of magnitude
 // faster — the end-to-end composed-reference check still applies per
 // frame, so the flag doubles as a differential smoke test.
+//
+// --plan hands the per-stage {config, mode, backend} decision to the
+// cost-model planner (docs/PLANNER.md) instead of hard-coding config D:
+// each stage is planned once (the decision is cached with the prepared
+// programs) and the chosen orchestration is printed per stage. Combining
+// --plan with --backend pins that backend and plans only config/mode.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -52,18 +59,24 @@ int main(int argc, char** argv) {
   int frames = 48;
   int workers = 4;
   auto backend = api::ExecBackend::kSimulator;
+  bool backend_explicit = false;
+  bool plan = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--backend=native") == 0) {
       backend = api::ExecBackend::kNativeSwar;
+      backend_explicit = true;
     } else if (std::strcmp(argv[i], "--backend=sim") == 0) {
       backend = api::ExecBackend::kSimulator;
+      backend_explicit = true;
+    } else if (std::strcmp(argv[i], "--plan") == 0) {
+      plan = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       // A typo'd flag must not fall through to atoi (frames=0 would make
       // the smoke run pass vacuously).
       std::fprintf(stderr,
                    "unknown option '%s'\nusage: video_pipeline [frames] "
-                   "[workers] [--backend=sim|native]\n",
+                   "[workers] [--backend=sim|native] [--plan]\n",
                    argv[i]);
       return 2;
     } else if (positional == 0) {
@@ -79,15 +92,32 @@ int main(int argc, char** argv) {
   api::Session session({.workers = workers, .cache = nullptr});
   std::printf(
       "video_pipeline: %d frames through color->conv2d->SAD, %d workers, "
-      "%s backend\n(real data flows between stages; every frame is checked "
-      "against the composed\nscalar reference end-to-end)\n\n",
-      frames, session.workers(), kernels::to_string(backend));
+      "%s backend%s\n(real data flows between stages; every frame is "
+      "checked against the composed\nscalar reference end-to-end)\n\n",
+      frames, session.workers(),
+      plan && !backend_explicit ? "planner-chosen"
+                                : kernels::to_string(backend),
+      plan ? ", planner-driven stages" : "");
+
+  // One stage request, either hard-coded (config D, the pre-planner
+  // convention) or handed to the cost-model planner.
+  auto stage_request = [&](const char* kernel) {
+    auto r = session.request(kernel);
+    if (plan) {
+      r.auto_plan();
+      if (backend_explicit) r.backend(backend);
+    } else {
+      r.spu(core::kConfigD).backend(backend);
+    }
+    return r;
+  };
 
   struct PerStage {
     uint64_t cycles = 0;
     uint64_t routed = 0;
     uint64_t hits = 0;
     uint64_t runs = 0;
+    std::string plan_choice;  // planner decision (--plan only)
   };
   PerStage per[3];
   const char* stage_names[3] = {"Color Convert", "2D Convolution",
@@ -114,15 +144,9 @@ int main(int argc, char** argv) {
 
         auto run =
             session.pipeline()
-                .then(session.request("Color Convert")
-                          .spu(core::kConfigD)
-                          .backend(backend))
-                .then(session.request("2D Convolution")
-                          .spu(core::kConfigD)
-                          .backend(backend))
-                .then(session.request("Motion Estimation")
-                          .spu(core::kConfigD)
-                          .backend(backend))
+                .then(stage_request("Color Convert"))
+                .then(stage_request("2D Convolution"))
+                .then(stage_request("Motion Estimation"))
                 .input(std::span<const int16_t>(rgb))
                 .output(std::span<int16_t>(sads))
                 .run();
@@ -145,10 +169,17 @@ int main(int argc, char** argv) {
           continue;
         }
         for (size_t s = 0; s < run->stages.size(); ++s) {
-          per[s].cycles += run->stages[s].response.run.stats.cycles;
-          per[s].routed += run->stages[s].response.run.stats.spu_routed_ops;
-          per[s].hits += run->stages[s].response.cache_hit ? 1 : 0;
+          const auto& resp = run->stages[s].response;
+          per[s].cycles += resp.cycles().value_or(0);
+          per[s].routed += resp.run.stats.spu_routed_ops;
+          per[s].hits += resp.cache_hit ? 1 : 0;
           ++per[s].runs;
+          if (resp.plan != nullptr && per[s].plan_choice.empty()) {
+            per[s].plan_choice =
+                resp.plan->choice_label() + " on " +
+                kernels::to_string(resp.plan->backend) + " — " +
+                resp.plan->reason;
+          }
         }
       }
     });
@@ -163,6 +194,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(per[s].cycles),
                 static_cast<unsigned long long>(per[s].routed),
                 static_cast<unsigned long long>(per[s].hits));
+  }
+  if (plan) {
+    std::printf("\nplanner decisions (one per stage, cached for the whole "
+                "stream):\n");
+    for (int s = 0; s < 3; ++s) {
+      std::printf("  %-20s %s\n", stage_names[s],
+                  per[s].plan_choice.c_str());
+    }
   }
 
   const auto st = session.stats();

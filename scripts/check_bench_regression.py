@@ -19,6 +19,13 @@ A metric "regresses" when it is worse than baseline by more than
 --threshold (default 15%), in the metric's own good direction (cycles:
 lower is better; hit rate: higher is better; ...).
 
+Optional-cycles schema: backends without a cycle model report cycle
+metrics as JSON null (or omit them). The gate tolerates null-vs-null, but
+a deterministic metric that *vanishes* (baseline numeric, current
+null/missing) FAILS, and a deterministic lower-is-better metric that
+*appears* against a zero baseline FAILS too — a zero baseline must never
+mask a real regression or divide the delta into nonsense.
+
 The trajectory table is printed to stdout and appended to --summary when
 given (pass $GITHUB_STEP_SUMMARY to surface it in the job summary).
 """
@@ -84,13 +91,34 @@ def compare_file(name, base, cur, threshold, rows):
             if key in ID_KEYS or isinstance(bval, str):
                 continue
             cval = crec.get(key)
-            if not isinstance(bval, (int, float)) or not isinstance(
-                    cval, (int, float)):
-                continue
             deterministic, higher = classify(key)
+            if not isinstance(bval, (int, float)):
+                # Baseline has no measurement (optional metric, e.g. cycle
+                # stats on a cycle-less backend): nothing to regress from.
+                continue
+            if not isinstance(cval, (int, float)):
+                # Baseline measured it, current run lost it. For a
+                # deterministic metric that is a gate failure, not a skip —
+                # silently dropping cycle counts is exactly how a backend
+                # mix-up would try to sneak past the gate.
+                status = "FAIL" if deterministic else "warn"
+                if status == "FAIL":
+                    failures.append(
+                        f"{name}: {rid} {key} vanished "
+                        f"(baseline {bval:g}, current null/missing)")
+                rows.append((name, rid, key, f"{bval:g}", "null", "-",
+                             status))
+                continue
             if bval == 0:
-                status = "ok" if cval == 0 else "new"
-                delta = "-"
+                if cval == 0:
+                    status, delta = "ok", "-"
+                elif deterministic and not higher:
+                    # A lower-is-better metric appearing against a zero
+                    # baseline is an unbounded regression, not "new"
+                    # (reported through the shared FAIL path below).
+                    status, delta = "FAIL", "+inf%"
+                else:
+                    status, delta = "new", "-"
             else:
                 rel = (cval - bval) / abs(bval)
                 delta = f"{100.0 * rel:+.1f}%"

@@ -110,6 +110,7 @@ Result<PipelineRun> Pipeline::run() {
   PipelineRun out;
   out.stages.reserve(jobs.size());
   out.all_cache_hits = true;
+  out.total_cycles = 0;
   std::vector<uint8_t> upstream;              // previous stage's output
   std::span<const uint8_t> feed = input_;     // what the next stage reads
   for (size_t i = 0; i < jobs.size(); ++i) {
@@ -124,7 +125,11 @@ Result<PipelineRun> Pipeline::run() {
     // so an ok() response here is bit-exact for the data the stage saw.
     auto resp = detail::to_response(fut.get(), context);
     if (!resp.ok()) return resp.error();
-    out.total_cycles += resp->run.stats.cycles;
+    if (const auto c = resp->run.stats.cycles_opt(); c && out.total_cycles) {
+      *out.total_cycles += *c;
+    } else {
+      out.total_cycles.reset();  // a cycle-less stage voids the total
+    }
     out.total_routed_operands += resp->run.stats.spu_routed_ops;
     out.all_cache_hits = out.all_cache_hits && resp->cache_hit;
     StageRun sr;

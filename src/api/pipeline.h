@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -45,7 +46,10 @@ struct StageRun {
 struct PipelineRun {
   std::vector<StageRun> stages;
   std::vector<uint8_t> output;      // final stage's primary output
-  uint64_t total_cycles = 0;        // summed over stages
+  // Simulator cycles summed over stages. nullopt when any stage ran on a
+  // backend without a cycle model (native-SWAR): a partial sum would
+  // silently under-report, so the total is withheld instead.
+  std::optional<uint64_t> total_cycles;
   uint64_t total_routed_operands = 0;
   bool all_cache_hits = false;      // every stage replayed a cached program
 };

@@ -14,24 +14,28 @@ Request& Request::repeats(int n) {
 
 Request& Request::baseline() {
   use_spu_ = false;
+  mode_set_ = true;
   return *this;
 }
 
 Request& Request::spu(const core::CrossbarConfig& cfg) {
   use_spu_ = true;
   cfg_ = cfg;
+  mode_set_ = true;
   return *this;
 }
 
 Request& Request::manual_spu() {
   use_spu_ = true;
   mode_ = kernels::SpuMode::Manual;
+  mode_set_ = true;
   return *this;
 }
 
 Request& Request::auto_orchestrate() {
   use_spu_ = true;
   mode_ = kernels::SpuMode::Auto;
+  mode_set_ = true;
   return *this;
 }
 
@@ -40,6 +44,24 @@ Request& Request::orchestrator(const core::OrchestratorOptions& opts) {
   mode_ = kernels::SpuMode::Auto;
   opts_ = opts;
   has_opts_ = true;
+  mode_set_ = true;
+  return *this;
+}
+
+Request& Request::auto_plan() {
+  plan_ = true;
+  return *this;
+}
+
+Request& Request::area_budget_mm2(double mm2) {
+  plan_ = true;
+  area_budget_mm2_ = mm2;
+  return *this;
+}
+
+Request& Request::max_delay_ns(double ns) {
+  plan_ = true;
+  max_delay_ns_ = ns;
   return *this;
 }
 
@@ -50,6 +72,7 @@ Request& Request::pipeline_config(const sim::PipelineConfig& pc) {
 
 Request& Request::backend(ExecBackend b) {
   backend_ = b;
+  backend_set_ = true;
   return *this;
 }
 
@@ -85,18 +108,46 @@ Result<runtime::KernelJob> Request::build() const {
                     "repeats must be >= 1, got " + std::to_string(repeats_),
                     context};
   }
-  if (use_spu_ && mode_ == kernels::SpuMode::Manual &&
-      !info->has_manual_spu) {
+  if (plan_ && mode_set_) {
+    return ApiError{ErrorCode::kInvalidArgument,
+                    "auto_plan() replaces the explicit mode knobs "
+                    "(baseline/spu/manual_spu/auto_orchestrate/"
+                    "orchestrator); use one or the other",
+                    context};
+  }
+  if (plan_) {
+    if (area_budget_mm2_ < 0 || max_delay_ns_ < 0) {
+      return ApiError{ErrorCode::kInvalidArgument,
+                      "planner budgets must be >= 0 (0 = unconstrained)",
+                      context};
+    }
+    // A pinned backend is validated per *shape* by the planner itself
+    // (executable_on restricts the search; plan_kernel throws a
+    // LoweringError — surfaced as kBackendUnsupported — when no feasible
+    // candidate can execute there). The coarse KernelInfo::native_backend
+    // flag is deliberately not consulted here: it ANDs several shapes and
+    // would reject kernels the planner could still plan natively.
+  }
+  if (!plan_ && use_spu_ && mode_ == kernels::SpuMode::Manual &&
+      !info->has_manual_spu()) {
     return ApiError{ErrorCode::kNoManualSpuVariant,
                     "kernel has no hand-written SPU variant; use "
                     "auto_orchestrate()",
                     context};
   }
-  if (backend_ == ExecBackend::kNativeSwar && !info->native_backend) {
-    return ApiError{ErrorCode::kBackendUnsupported,
-                    "kernel's programs cannot be lowered onto the native-"
-                    "SWAR backend; use the simulator backend",
-                    context};
+  // Native-backend support is validated for the *exact* knob combination,
+  // not just the kernel: a config/mode whose lowering proof fails must be a
+  // typed build-time error, never a surprise from deep inside prepare.
+  if (!plan_ && backend_ == ExecBackend::kNativeSwar &&
+      !info->native_supported(use_spu_, mode_, cfg_)) {
+    std::string what = "kernel '" + info->name + "' cannot run ";
+    what += use_spu_ ? (mode_ == kernels::SpuMode::Manual
+                            ? "its manual SPU variant under config "
+                            : "auto-orchestrated under config ")
+                     : "as baseline under config ";
+    what += cfg_.name;
+    what += " on the native-SWAR backend; use the simulator backend";
+    return ApiError{ErrorCode::kBackendUnsupported, std::move(what), context};
   }
   if (!buffers_.empty()) {
     if (!info->buffers.supported()) {
@@ -133,6 +184,10 @@ Result<runtime::KernelJob> Request::build() const {
   if (has_opts_) job.opts = opts_;
   job.pc = pc_;
   job.buffers = buffers_;
+  job.plan = plan_;
+  job.area_budget_mm2 = area_budget_mm2_;
+  job.max_delay_ns = max_delay_ns_;
+  job.backend_pinned = plan_ && backend_set_;
   return job;
 }
 
@@ -196,6 +251,7 @@ Result<Response> to_response(runtime::JobResult r,
   resp.prepare_ns = r.prepare_ns;
   resp.execute_ns = r.execute_ns;
   resp.worker = r.worker;
+  resp.plan = std::move(r.plan);
   return resp;
 }
 

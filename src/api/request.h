@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <future>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -27,6 +28,9 @@ class Session;
 // Re-exported so facade users need not reach into kernels:: for the knob.
 using ExecBackend = kernels::ExecBackend;
 
+// The planner's audit trail (runtime/planner.h): what was chosen and why.
+using PlanSummary = runtime::PlanSummary;
+
 // What a finished request yields: the KernelRun (simulation stats,
 // bit-exact verification flag, SPU counters, orchestration report when
 // auto-orchestrated) plus the service-side economics of this execution.
@@ -36,6 +40,17 @@ struct Response {
   uint64_t prepare_ns = 0;
   uint64_t execute_ns = 0;
   int worker = -1;
+  // For auto_plan() requests: the planner's decision and scoring (config,
+  // mode, backend, estimated benefit, full candidate field). Null for
+  // explicitly-configured requests.
+  std::shared_ptr<const PlanSummary> plan;
+
+  // Simulator cycles, or nullopt when the execution backend has no cycle
+  // model (native-SWAR). Prefer this over run.stats.cycles when mixing
+  // backends: the raw field reads 0 there and poisons averages.
+  [[nodiscard]] std::optional<uint64_t> cycles() const {
+    return run.stats.cycles_opt();
+  }
 };
 
 // A validated request in flight. Move-only; wait() resolves exactly once.
@@ -63,6 +78,21 @@ class Request {
   Request& auto_orchestrate();                   // orchestrator over baseline
   Request& orchestrator(const core::OrchestratorOptions& opts);  // implies auto
   Request& pipeline_config(const sim::PipelineConfig& pc);
+
+  // Let the cost-model planner (runtime/planner.h, docs/PLANNER.md) choose
+  // the crossbar config, execution mode (baseline/manual/auto) and backend
+  // for this kernel and repeat count. Mutually exclusive with the explicit
+  // mode knobs above (baseline/spu/manual_spu/auto_orchestrate/
+  // orchestrator) — combining them is a build()-time kInvalidArgument. An
+  // explicit backend() call pins the backend and the planner decides only
+  // config and mode. The decision arrives in Response::plan.
+  Request& auto_plan();
+
+  // Hardware budgets for the planner, in the paper's Table-1 units
+  // (0.25um). Each implies auto_plan(); configurations that bust a budget
+  // are excluded from the search.
+  Request& area_budget_mm2(double mm2);  // crossbar + control memory area
+  Request& max_delay_ns(double ns);      // crossbar delay ceiling
 
   // Execution backend: the cycle-level simulator (default — the only
   // backend with cycle statistics) or the native-SWAR trace executor
@@ -111,6 +141,11 @@ class Request {
   bool has_opts_ = false;
   sim::PipelineConfig pc_{};
   kernels::BufferBinding buffers_{};
+  bool plan_ = false;          // auto_plan() / budgets called
+  bool mode_set_ = false;      // an explicit mode knob was called
+  bool backend_set_ = false;   // backend() was called (pins it under plan)
+  double area_budget_mm2_ = 0;
+  double max_delay_ns_ = 0;
 };
 
 namespace detail {

@@ -1,6 +1,7 @@
 #include "core/orchestrator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 #include "core/micro_builder.h"
@@ -39,9 +40,16 @@ std::vector<Inst> build(Fn&& fn) {
   return std::move(a.take().insts());
 }
 
+std::atomic<uint64_t> g_orchestrator_runs{0};
+
 }  // namespace
 
+uint64_t Orchestrator::total_runs() {
+  return g_orchestrator_runs.load(std::memory_order_relaxed);
+}
+
 OrchestrationResult Orchestrator::run(const isa::Program& p) const {
+  g_orchestrator_runs.fetch_add(1, std::memory_order_relaxed);
   check_reserved_regs_free(p);
 
   OrchestrationResult res;
@@ -147,6 +155,7 @@ OrchestrationResult Orchestrator::run(const isa::Program& p) const {
       const auto go = build([&](isa::Assembler& a) {
         emit_spu_go(a, go_before[i]);
       });
+      res.go_instructions += static_cast<int>(go.size());
       out.insert(out.end(), go.begin(), go.end());
     }
     if (removed[i]) continue;
@@ -172,6 +181,24 @@ OrchestrationResult Orchestrator::run(const isa::Program& p) const {
   // Labels are dropped: indices moved and they are only used for listings.
   res.program = isa::Program(std::move(out), {});
   return res;
+}
+
+OrchestrationReport summarize(const OrchestrationResult& r) {
+  OrchestrationReport rep;
+  rep.removed_static = r.removed_static;
+  rep.prologue_instructions = r.prologue_instructions;
+  rep.go_instructions = r.go_instructions;
+  rep.contexts_used = static_cast<int>(r.contexts.size());
+  rep.loops_seen = static_cast<int>(r.loops.size());
+  for (const auto& l : r.loops) {
+    if (l.context < 0) continue;
+    ++rep.loops_orchestrated;
+    if (l.trip_count > 0) {
+      rep.removed_dynamic +=
+          static_cast<int64_t>(l.removed_permutations) * l.trip_count;
+    }
+  }
+  return rep;
 }
 
 AttachedSpu attach_spu(sim::Machine& m, const OrchestrationResult& result,

@@ -76,6 +76,8 @@ struct OrchestrationResult {
   std::vector<SpuProgram> contexts;  // microprograms, indexed by context id
   std::vector<LoopReport> loops;
   int prologue_instructions = 0;   // MMIO programming cost (instructions)
+  int go_instructions = 0;         // context-select + GO stores injected
+                                   // before orchestrated loop heads
   int removed_static = 0;          // total removed permutations (static)
 
   [[nodiscard]] bool any_orchestrated() const {
@@ -86,6 +88,30 @@ struct OrchestrationResult {
   }
 };
 
+// Flat scorecard of one orchestration — the quantities the paper's §4
+// startup-cost accounting weighs against each other, extracted from an
+// OrchestrationResult so the runtime planner (and reports) can price a
+// candidate configuration without walking the loop list themselves.
+struct OrchestrationReport {
+  int removed_static = 0;        // permutations deleted (static count)
+  // Σ removed × trip_count over orchestrated loops: permutation executions
+  // deleted per entry into the orchestrated loops (one pass of the
+  // program's workload; multiply by outer repeats for a dynamic estimate).
+  int64_t removed_dynamic = 0;
+  int prologue_instructions = 0; // MMIO programming cost at program entry
+  int go_instructions = 0;       // per-loop context-select + GO cost
+  int contexts_used = 0;         // SPU contexts consumed
+  int loops_seen = 0;            // inner loops the analysis considered
+  int loops_orchestrated = 0;    // loops that actually got a context
+
+  // Total startup instructions the transformation injected.
+  [[nodiscard]] int startup_instructions() const {
+    return prologue_instructions + go_instructions;
+  }
+};
+
+[[nodiscard]] OrchestrationReport summarize(const OrchestrationResult& r);
+
 class Orchestrator {
  public:
   explicit Orchestrator(OrchestratorOptions opts = {}) : opts_(opts) {}
@@ -93,6 +119,12 @@ class Orchestrator {
   // Transforms `p`. Throws std::logic_error if the program already uses the
   // reserved SPU setup registers (R14/R15).
   [[nodiscard]] OrchestrationResult run(const isa::Program& p) const;
+
+  // Process-wide count of Orchestrator::run invocations. The analysis is
+  // the expensive prepare-half step, so layers above promise laziness about
+  // it (registry capability probes, Session construction); this counter is
+  // what lets tests pin those promises down.
+  [[nodiscard]] static uint64_t total_runs();
 
   [[nodiscard]] const OrchestratorOptions& options() const { return opts_; }
 

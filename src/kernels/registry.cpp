@@ -1,7 +1,10 @@
 #include "kernels/registry.h"
 
 #include <cctype>
+#include <cstdint>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "kernels/color_convert.h"
 #include "kernels/conv2d.h"
@@ -82,6 +85,50 @@ bool probe_native_backend(const MediaKernel& k, bool has_manual) {
   }
 }
 
+// Probing a concrete (use_spu, mode, cfg) shape: prepare it for real at
+// repeats=1 and attempt the lowering. Any failure — manual variant not
+// realizable under this geometry, orchestrator rejection, lowering proof
+// failure — means the native backend cannot run this exact request.
+bool probe_native_combo(const MediaKernel& k, bool use_spu, SpuMode mode,
+                        const core::CrossbarConfig& cfg) {
+  try {
+    auto p = use_spu ? prepare_spu(k, 1, cfg, mode) : prepare_baseline(k, 1);
+    lower_native(k, p);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+// Lazy capability memo, one slot per registered kernel. The probes build
+// programs and (for the native proofs) run the orchestrator — ~100ms for
+// the whole registry — so nothing here runs until a capability is actually
+// consulted, and then exactly once per kernel (or per combination).
+struct KernelCaps {
+  std::once_flag manual_once;
+  bool has_manual = false;
+  std::once_flag native_once;
+  bool native_all = false;
+  std::mutex combo_mu;
+  std::unordered_map<uint32_t, bool> combos;  // packed combo key -> support
+};
+
+std::vector<KernelCaps>& caps_table() {
+  static std::vector<KernelCaps> table(all_kernels().size());
+  return table;
+}
+
+// Everything that distinguishes one preparation shape for the native
+// backend: crossbar geometry + modes flag, SPU on/off, SPU mode.
+uint32_t combo_key(bool use_spu, SpuMode mode,
+                   const core::CrossbarConfig& cfg) {
+  return static_cast<uint32_t>(cfg.input_ports) |
+         (static_cast<uint32_t>(cfg.output_ports) << 8) |
+         (static_cast<uint32_t>(cfg.port_bits) << 16) |
+         (cfg.modes ? 1u << 24 : 0u) | (use_spu ? 1u << 25 : 0u) |
+         (static_cast<uint32_t>(mode) << 26);
+}
+
 std::vector<KernelInfo> build_infos() {
   std::vector<KernelInfo> infos;
   const auto kernels = all_kernels();
@@ -92,9 +139,8 @@ std::vector<KernelInfo> build_infos() {
     info.name = k.name();
     info.description = k.description();
     info.paper_suite = i < kPaperSuiteSize;
-    info.has_manual_spu = probe_manual_spu(k);
-    info.native_backend = probe_native_backend(k, info.has_manual_spu);
     info.buffers = k.buffer_spec();
+    info.registry_index = i;
     infos.push_back(std::move(info));
   }
   return infos;
@@ -112,6 +158,42 @@ bool iequals(std::string_view a, std::string_view b) {
 }
 
 }  // namespace
+
+bool KernelInfo::has_manual_spu() const {
+  auto& caps = caps_table().at(registry_index);
+  std::call_once(caps.manual_once, [&] {
+    caps.has_manual = probe_manual_spu(*all_kernels().at(registry_index));
+  });
+  return caps.has_manual;
+}
+
+bool KernelInfo::native_backend() const {
+  auto& caps = caps_table().at(registry_index);
+  const bool has_manual = has_manual_spu();
+  std::call_once(caps.native_once, [&] {
+    caps.native_all =
+        probe_native_backend(*all_kernels().at(registry_index), has_manual);
+  });
+  return caps.native_all;
+}
+
+bool KernelInfo::native_supported(bool use_spu, SpuMode mode,
+                                  const core::CrossbarConfig& cfg) const {
+  auto& caps = caps_table().at(registry_index);
+  const uint32_t key = combo_key(use_spu, mode, cfg);
+  {
+    std::lock_guard lock(caps.combo_mu);
+    if (const auto it = caps.combos.find(key); it != caps.combos.end()) {
+      return it->second;
+    }
+  }
+  // Probe outside the lock: probing is idempotent and may be slow, so a
+  // racing duplicate probe beats serializing every combo behind one mutex.
+  const bool supported = probe_native_combo(*all_kernels().at(registry_index),
+                                            use_spu, mode, cfg);
+  std::lock_guard lock(caps.combo_mu);
+  return caps.combos.emplace(key, supported).first->second;
+}
 
 const std::vector<KernelInfo>& kernel_infos() {
   static const std::vector<KernelInfo> infos = build_infos();

@@ -12,7 +12,9 @@
 #include <string_view>
 #include <vector>
 
+#include "core/crossbar.h"
 #include "kernels/kernel.h"
+#include "kernels/runner.h"
 
 namespace subword::kernels {
 
@@ -31,23 +33,48 @@ inline constexpr size_t kPaperSuiteSize = 8;
 // per request: identity, suite membership, whether a hand-written SPU
 // variant exists (SpuMode::Manual is only buildable then), and the
 // user-owned-buffer contract.
+//
+// Capability probes (manual variant, native-backend lowerability) are
+// expensive — they build programs and, for the native proofs, run the
+// orchestrator — so they are *lazy*: the accessor methods below probe on
+// first call per kernel and memoize the answer process-wide. Enumerating
+// the registry (kernel_infos(), Session construction, `kernel_table
+// --names`) therefore costs no orchestrator runs; only kernels whose
+// capabilities are actually consulted ever pay for a probe. KernelInfo is
+// freely copyable — copies share the registry-side memo table.
 struct KernelInfo {
   std::string name;
   std::string description;
   bool paper_suite = false;     // one of the Figure-9 rows
-  bool has_manual_spu = false;  // build_spu returns a program
-  // Executable on ExecBackend::kNativeSwar: probed at registry init by
-  // actually lowering the kernel's baseline, manual (where realizable) and
-  // auto-orchestrated programs under configs A and D. False means the
-  // lowering proof failed somewhere (data-dependent control flow) and the
-  // facade reports kBackendUnsupported for native requests.
-  bool native_backend = false;
   BufferSpec buffers;           // zero sizes: synthetic workload only
+  // Position in all_kernels() order — the handle into the lazy memo table.
+  size_t registry_index = 0;
+
+  // build_spu returns a program under at least one registered config.
+  // Lazy: probes every config on first call, memoized thereafter.
+  [[nodiscard]] bool has_manual_spu() const;
+
+  // Executable on ExecBackend::kNativeSwar: the kernel's baseline, manual
+  // (where realizable) and auto-orchestrated programs under configs A and D
+  // all pass the lowering proof. False means the proof failed somewhere
+  // (data-dependent control flow) and the facade reports
+  // kBackendUnsupported for native requests. Lazy + memoized; the probe
+  // really lowers, so the flag can never drift from backend reality.
+  [[nodiscard]] bool native_backend() const;
+
+  // Fine-grained native support for one concrete preparation shape: can
+  // (use_spu, mode, cfg) at repeats=1 be lowered onto the native backend?
+  // This is what Request::build() consults so a native request whose exact
+  // knob combination the lowering would reject fails at build time (typed
+  // kBackendUnsupported naming kernel and config) instead of surfacing
+  // from deep inside prepare. Lazy + memoized per combination.
+  [[nodiscard]] bool native_supported(bool use_spu, SpuMode mode,
+                                      const core::CrossbarConfig& cfg) const;
 };
 
 // Descriptors for every registered kernel, registry order. Built once per
-// process (probing each kernel's manual variant) and shared thereafter;
-// safe to call from any thread.
+// process and shared thereafter; safe to call from any thread. Cheap:
+// capability probes are deferred to the KernelInfo accessors.
 [[nodiscard]] const std::vector<KernelInfo>& kernel_infos();
 
 // Case-insensitive lookup ("fir12" finds FIR12); nullptr when unknown.

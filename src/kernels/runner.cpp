@@ -196,8 +196,10 @@ KernelRun execute_native(const MediaKernel& k, const PreparedProgram& p,
   backend::run_trace(*p.native, st);
 
   // No cycle model ran; report the dynamic instruction count the trace
-  // replaced so throughput accounting stays meaningful.
+  // replaced so throughput accounting stays meaningful, and mark the cycle
+  // stats absent so mixed-backend aggregation cannot absorb the zero.
   out.stats.instructions = p.native->source_instructions;
+  out.stats.has_cycles = false;
   out.verified = bound_input ? k.verify_bound(*mem, buffers->input)
                              : k.verify(*mem);
   if (bound && out.verified && !buffers->output.empty()) {

@@ -144,20 +144,49 @@ JobResult BatchEngine::run_job(const KernelJob& job, int worker_id,
                                WorkerScratch& scratch) {
   JobResult r;
   r.worker = worker_id;
-  const bool native = job.backend == kernels::ExecBackend::kNativeSwar;
   try {
     const auto kernel = kernels::make_kernel(job.kernel);
-
-    const OrchestrationKey key = make_key(job.kernel, job.repeats, job.mode,
-                                          job.use_spu, job.cfg, job.opts,
-                                          job.pc, job.backend);
-    bool prepared_here = false;
     const uint64_t t0 = now_ns();
+
+    // Planner-driven jobs resolve their execution shape first; the
+    // decision is cached under PlanKey so concurrent sessions sharing this
+    // cache plan each unique request shape exactly once.
+    bool use_spu = job.use_spu;
+    kernels::SpuMode mode = job.mode;
+    core::CrossbarConfig cfg = job.cfg;
+    kernels::ExecBackend backend = job.backend;
+    if (job.plan) {
+      PlanKey pk;
+      pk.kernel = job.kernel;
+      pk.repeats = job.repeats;
+      pk.area_budget_mm2 = job.area_budget_mm2;
+      pk.max_delay_ns = job.max_delay_ns;
+      pk.pinned_backend =
+          job.backend_pinned ? static_cast<int>(job.backend) : -1;
+      const auto plan = cache_->get_or_plan(pk, [&] {
+        PlanOptions po;
+        po.budget.area_mm2 = job.area_budget_mm2;
+        po.budget.delay_ns = job.max_delay_ns;
+        if (job.backend_pinned) po.backend = job.backend;
+        return plan_kernel(*kernel, job.repeats, po);
+      });
+      use_spu = plan->use_spu;
+      mode = plan->mode;
+      cfg = plan->cfg;
+      backend = plan->backend;
+      r.plan = std::shared_ptr<const PlanSummary>(plan, &plan->summary);
+    }
+    const bool native = backend == kernels::ExecBackend::kNativeSwar;
+
+    const OrchestrationKey key = make_key(job.kernel, job.repeats, mode,
+                                          use_spu, cfg, job.opts, job.pc,
+                                          backend);
+    bool prepared_here = false;
     const auto prepared = cache_->get_or_prepare(key, [&] {
       prepared_here = true;
-      auto p = job.use_spu
-                   ? kernels::prepare_spu(*kernel, job.repeats, job.cfg,
-                                          job.mode, job.pc, &job.opts)
+      auto p = use_spu
+                   ? kernels::prepare_spu(*kernel, job.repeats, cfg,
+                                          mode, job.pc, &job.opts)
                    : kernels::prepare_baseline(*kernel, job.repeats, job.pc);
       // Lowering is part of the prepare half: the trace is cached with the
       // program and replayed decode-free ever after.
@@ -201,7 +230,11 @@ void BatchEngine::finish(Task&& task, JobResult&& result) {
     std::lock_guard lock(mu_);
     ++agg_.jobs_completed;
     if (!result.ok) ++agg_.jobs_failed;
-    agg_.cycles_simulated += result.run.stats.cycles;
+    // Native-backend runs carry no cycle model (has_cycles=false); only
+    // genuine simulator cycles may enter the aggregate.
+    if (result.run.stats.has_cycles) {
+      agg_.cycles_simulated += result.run.stats.cycles;
+    }
     agg_.instructions_retired += result.run.stats.instructions;
   }
   task.promise.set_value(std::move(result));

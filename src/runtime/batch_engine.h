@@ -38,6 +38,14 @@ struct KernelJob {
   core::CrossbarConfig cfg = core::kConfigA;
   core::OrchestratorOptions opts{};  // Auto path; opts.config is overridden
   sim::PipelineConfig pc{};
+  // Planner-driven job: the engine resolves {use_spu, mode, cfg, backend}
+  // through runtime::plan_kernel (decision cached under PlanKey) before
+  // preparing, ignoring the fixed-config knobs above. When backend_pinned
+  // the caller's `backend` is kept and only config/mode are planned.
+  bool plan = false;
+  double area_budget_mm2 = 0;  // planner budgets; 0 = unconstrained
+  double max_delay_ns = 0;
+  bool backend_pinned = false;
   // User-owned buffers (see kernels/kernel.h). The spans view caller
   // memory that MUST stay alive until the job's future resolves; buffers
   // never affect preparation, so they are not part of the cache key.
@@ -61,9 +69,12 @@ struct JobResult {
   JobErrorKind kind = JobErrorKind::kNone;
   std::string error;
   bool cache_hit = false;       // preparation came from the cache
-  uint64_t prepare_ns = 0;      // time spent in get_or_prepare
+  uint64_t prepare_ns = 0;      // planning + time spent in get_or_prepare
   uint64_t execute_ns = 0;      // time spent simulating
   int worker = -1;              // which worker executed the job
+  // For planner-driven jobs: what was chosen and why (aliases into the
+  // cached Plan, so sharing it across results is free). Null otherwise.
+  std::shared_ptr<const PlanSummary> plan;
 };
 
 // Aggregate view over a finished batch (or the engine's lifetime).

@@ -65,13 +65,60 @@ std::shared_ptr<const kernels::PreparedProgram> OrchestrationCache::peek(
   return it->second->published;
 }
 
+std::shared_ptr<const Plan> OrchestrationCache::get_or_plan(
+    const PlanKey& key, const PlanFactory& factory) {
+  std::shared_ptr<PlanEntry> entry;
+  {
+    std::shared_lock lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) entry = it->second;
+  }
+  if (!entry) {
+    std::unique_lock lock(mu_);
+    auto [it, fresh] = plans_.try_emplace(key);
+    if (fresh) it->second = std::make_shared<PlanEntry>();
+    entry = it->second;
+  }
+
+  // Exactly-once planning per key, same discipline as get_or_prepare:
+  // racing callers block on the winner, then share its decision.
+  bool ran_factory = false;
+  std::call_once(entry->once, [&] {
+    ran_factory = true;
+    try {
+      entry->plan = std::make_shared<const Plan>(factory());
+    } catch (...) {
+      entry->error = std::current_exception();
+    }
+  });
+
+  if (entry->error) {
+    {
+      std::unique_lock lock(mu_);
+      auto it = plans_.find(key);
+      if (it != plans_.end() && it->second == entry) plans_.erase(it);
+    }
+    plan_misses_.fetch_add(1, std::memory_order_relaxed);
+    std::rethrow_exception(entry->error);
+  }
+  if (ran_factory) {
+    plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    plan_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return entry->plan;
+}
+
 CacheStats OrchestrationCache::stats() const {
   CacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  s.plan_misses = plan_misses_.load(std::memory_order_relaxed);
   {
     std::shared_lock lock(mu_);
     s.entries = map_.size();
+    s.plan_entries = plans_.size();
   }
   return s;
 }
@@ -79,8 +126,11 @@ CacheStats OrchestrationCache::stats() const {
 void OrchestrationCache::clear() {
   std::unique_lock lock(mu_);
   map_.clear();
+  plans_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  plan_hits_.store(0, std::memory_order_relaxed);
+  plan_misses_.store(0, std::memory_order_relaxed);
 }
 
 OrchestrationKey make_key(const std::string& kernel, int repeats,

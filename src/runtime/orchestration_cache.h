@@ -23,6 +23,7 @@
 
 #include "core/orchestrator.h"
 #include "kernels/runner.h"
+#include "runtime/planner.h"
 
 namespace subword::runtime {
 
@@ -101,10 +102,48 @@ struct OrchestrationKeyHash {
   }
 };
 
+// Identity of one planning decision. Planning is a pure function of the
+// kernel, the problem size and the planner options, so two sessions
+// sharing a cache resolve the same PlanKey to one stored Plan — the
+// planner's 4-config provenance dry-run happens once per unique request
+// shape no matter how many sessions ask.
+struct PlanKey {
+  std::string kernel;
+  int repeats = 1;
+  // PlanOptions identity (budget + search space + pinned backend).
+  double area_budget_mm2 = 0;  // 0 = unconstrained
+  double max_delay_ns = 0;     // 0 = unconstrained
+  bool allow_manual = true;
+  int pinned_backend = -1;     // -1: planner picks; else ExecBackend value
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const {
+    size_t h = std::hash<std::string>{}(k.kernel);
+    auto mix = [&h](uint64_t v) {
+      h ^= std::hash<uint64_t>{}(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    };
+    mix(static_cast<uint64_t>(k.repeats));
+    mix(std::hash<double>{}(k.area_budget_mm2));
+    mix(std::hash<double>{}(k.max_delay_ns));
+    mix((k.allow_manual ? 1u : 0u) |
+        (static_cast<uint64_t>(k.pinned_backend + 1) << 1));
+    return h;
+  }
+};
+
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t entries = 0;
+  // Planner-decision cache (PlanKey -> Plan), counted separately: a
+  // planned job normally scores one plan hit plus one preparation hit.
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
+  uint64_t plan_entries = 0;
 
   [[nodiscard]] double hit_rate() const {
     const uint64_t total = hits + misses;
@@ -130,6 +169,15 @@ class OrchestrationCache {
   [[nodiscard]] std::shared_ptr<const kernels::PreparedProgram> peek(
       const OrchestrationKey& key) const;
 
+  using PlanFactory = std::function<Plan()>;
+
+  // The planning analogue of get_or_prepare: resolves `key` to a stored
+  // planner decision, invoking `factory` exactly once per unique key
+  // across all threads and sessions sharing this cache. Errors propagate
+  // to every waiter and the entry is dropped for retry.
+  [[nodiscard]] std::shared_ptr<const Plan> get_or_plan(
+      const PlanKey& key, const PlanFactory& factory);
+
   [[nodiscard]] CacheStats stats() const;
 
   void clear();
@@ -146,13 +194,23 @@ class OrchestrationCache {
     std::shared_ptr<const kernels::PreparedProgram> published;
   };
 
+  struct PlanEntry {
+    std::once_flag once;
+    std::shared_ptr<const Plan> plan;
+    std::exception_ptr error;
+  };
+
   mutable std::shared_mutex mu_;
   std::unordered_map<OrchestrationKey, std::shared_ptr<Entry>,
                      OrchestrationKeyHash>
       map_;
+  std::unordered_map<PlanKey, std::shared_ptr<PlanEntry>, PlanKeyHash>
+      plans_;
   // Atomic so the hot hit path never takes the exclusive lock.
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> plan_hits_{0};
+  std::atomic<uint64_t> plan_misses_{0};
 };
 
 // Key for a job as the batch engine prepares it.

@@ -6,12 +6,25 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 namespace subword::sim {
 
 struct RunStats {
+  // Only the cycle-level simulator produces cycle-derived quantities; the
+  // native-SWAR backend replays pre-decoded traces with no cycle model and
+  // reports has_cycles=false (cycles stays 0, which is a *sentinel*, not a
+  // measurement). Consumers aggregating across backends must consult
+  // cycles_opt()/has_cycles — a zero folded into a mean or a regression
+  // baseline silently poisons it.
   uint64_t cycles = 0;
+  bool has_cycles = true;
   uint64_t instructions = 0;
+
+  // The explicit view: nullopt when no cycle model ran.
+  [[nodiscard]] std::optional<uint64_t> cycles_opt() const {
+    return has_cycles ? std::optional<uint64_t>(cycles) : std::nullopt;
+  }
 
   uint64_t mmx_instructions = 0;   // all ops executing in the MMX pipes
   uint64_t mmx_compute = 0;        // MMX arithmetic/logic/compare/shift
@@ -47,6 +60,9 @@ struct RunStats {
   }
 
   RunStats& operator+=(const RunStats& o) {
+    // A sum that includes even one cycle-less run has no meaningful cycle
+    // total: poison the flag rather than under-count.
+    has_cycles = has_cycles && o.has_cycles;
     cycles += o.cycles;
     instructions += o.instructions;
     mmx_instructions += o.mmx_instructions;

@@ -31,7 +31,7 @@ TEST(SessionKernels, EnumeratesTheFullRegistryWithDescriptors) {
     EXPECT_FALSE(info.name.empty());
     EXPECT_FALSE(info.description.empty());
     // Every registry kernel today carries a hand-written SPU variant.
-    EXPECT_TRUE(info.has_manual_spu) << info.name;
+    EXPECT_TRUE(info.has_manual_spu()) << info.name;
   }
   // The buffer-capable subset advertises exact byte contracts.
   const auto fir = session.kernel("FIR12");

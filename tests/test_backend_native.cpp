@@ -104,13 +104,13 @@ void expect_bitexact(const MediaKernel& k, PreparedProgram p,
 TEST(BackendNativeDifferential, EveryLowerableKernelEveryPreparation) {
   constexpr int kRepeats = 2;
   for (const auto& info : kernels::kernel_infos()) {
-    if (!info.native_backend) continue;
+    if (!info.native_backend()) continue;
     const auto k = kernels::make_kernel(info.name);
     expect_bitexact(*k, kernels::prepare_baseline(*k, kRepeats),
                     info.name + "/baseline");
     for (const auto& cfg : {core::kConfigA, core::kConfigD}) {
       const std::string cfg_name(cfg.name);
-      if (info.has_manual_spu) {
+      if (info.has_manual_spu()) {
         try {
           auto manual =
               kernels::prepare_spu(*k, kRepeats, cfg, SpuMode::Manual);
@@ -132,7 +132,7 @@ TEST(BackendNativeDifferential, EveryLowerableKernelEveryPreparation) {
 // silently loses native support fails loudly here instead of falling back.
 TEST(BackendNativeDifferential, WholeRegistryIsLowerable) {
   for (const auto& info : kernels::kernel_infos()) {
-    EXPECT_TRUE(info.native_backend) << info.name;
+    EXPECT_TRUE(info.native_backend()) << info.name;
   }
 }
 
@@ -142,7 +142,7 @@ TEST(BackendNativeDifferential, WholeRegistryIsLowerable) {
 TEST(BackendNativeDifferential, BoundBuffersMatchSimulatorThroughFacade) {
   api::Session session({.workers = 2, .cache = nullptr});
   for (const auto& info : session.kernels()) {
-    if (!info.native_backend || !info.buffers.supported()) continue;
+    if (!info.native_backend() || !info.buffers.supported()) continue;
     SCOPED_TRACE(info.name);
     // In-contract input: the kernel's own synthetic workload bytes.
     sim::Memory staging(kernels::kMemBytes);
