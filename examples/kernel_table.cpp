@@ -10,11 +10,29 @@
 //        kernel_table --names    # one kernel name per line (CI check)
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "kernels/registry.h"
 #include "runtime/planner.h"
 
 using namespace subword;
+
+namespace {
+
+// The "Tileable?" cell: how (and whether) runtime/tiling.h may cut a
+// frame-sized request into base-tile jobs for this kernel.
+std::string tileable_cell(const kernels::BufferSpec& spec) {
+  if (!spec.supported() || !spec.tileable) return "—";
+  if (spec.tile_input_halo_bytes != 0) {
+    return "halo " + std::to_string(spec.tile_input_halo_bytes) + " B";
+  }
+  if (spec.tile_unit_input_bytes != 0) {
+    return std::to_string(spec.tile_unit_input_bytes) + " B units";
+  }
+  return "whole tiles";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bool names_only = argc > 1 && std::strcmp(argv[1], "--names") == 0;
@@ -31,20 +49,21 @@ int main(int argc, char** argv) {
   const auto& infos = kernels::kernel_infos();
 
   std::printf(
-      "| Kernel | Workload | Layers | Suite | Backends | Planned? | "
-      "Tested by | Benched by |\n");
-  std::printf("|---|---|---|---|---|---|---|---|\n");
+      "| Kernel | Workload | Layers | Suite | Backends | Tileable? | "
+      "Planned? | Tested by | Benched by |\n");
+  std::printf("|---|---|---|---|---|---|---|---|---|\n");
   for (const auto& info : infos) {
     // The cost-model planner's pick at repeats=8 (full search space) —
     // what `auto_plan()` resolves to for a mid-size request today.
     const auto plan = runtime::plan_kernel(info.name, 8);
     std::printf(
-        "| %s | %s | ref, MMX%s, auto | %s | %s | `%s` | "
+        "| %s | %s | ref, MMX%s, auto | %s | %s | %s | `%s` | "
         "`test_kernels{,_spu}`, `test_registry_property` | `%s` |\n",
         info.name.c_str(), info.description.c_str(),
         info.has_manual_spu() ? ", SPU" : "",
         info.paper_suite ? "paper (Fig. 9)" : "extended",
         info.native_backend() ? "sim, native" : "sim",
+        tileable_cell(info.buffers).c_str(),
         plan.summary.choice_label().c_str(),
         info.paper_suite ? "fig9_cycles" : "ablation_new_workloads");
   }
@@ -52,6 +71,10 @@ int main(int argc, char** argv) {
       "\n*Planned?* is what the cost-model planner (`auto_plan()`, "
       "[docs/PLANNER.md](docs/PLANNER.md)) chooses at repeats=8: the "
       "cheapest configuration whose removed permutations outweigh its "
-      "startup cost, or `baseline` when nothing is removable.\n");
+      "startup cost, or `baseline` when nothing is removable. *Tileable?* "
+      "is the kernel's frame-tiling geometry ([docs/API.md](docs/API.md)): "
+      "the input overlap between consecutive tiles (`halo`), the "
+      "granularity a partial tail tile may round to (`units`), or `whole "
+      "tiles` when a frame must be an exact multiple of the base tile.\n");
   return 0;
 }

@@ -21,7 +21,7 @@
 // replays the cache.
 //
 // Usage: video_pipeline [num_frames] [num_workers] [--backend=sim|native]
-//                       [--plan]
+//                       [--plan] [--tiles=N]
 //
 // --backend=native runs every stage on the native-SWAR trace executor
 // (src/backend): same bytes, no cycle statistics, an order of magnitude
@@ -33,6 +33,14 @@
 // each stage is planned once (the decision is cached with the prepared
 // programs) and the chosen orchestration is printed per stage. Combining
 // --plan with --backend pins that backend and plans only config/mode.
+//
+// --tiles=N streams each frame through the pipeline tile by tile
+// (Pipeline::tile() + submit()): the RGB frame is N base frames
+// concatenated, the tiler cuts it along the first stage's tile geometry,
+// and stage S+1 starts tile k as soon as stage S finishes it — the three
+// stages overlap across tiles instead of running frame-at-a-time. Every
+// tile's 16 SAD scores are still checked against the composed scalar
+// reference of that tile's RGB window.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -61,6 +69,7 @@ int main(int argc, char** argv) {
   auto backend = api::ExecBackend::kSimulator;
   bool backend_explicit = false;
   bool plan = false;
+  int tiles = 1;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--backend=native") == 0) {
@@ -71,12 +80,19 @@ int main(int argc, char** argv) {
       backend_explicit = true;
     } else if (std::strcmp(argv[i], "--plan") == 0) {
       plan = true;
+    } else if (std::strncmp(argv[i], "--tiles=", 8) == 0) {
+      tiles = std::atoi(argv[i] + 8);
+      if (tiles < 1) {
+        std::fprintf(stderr, "--tiles needs a positive count, got '%s'\n",
+                     argv[i] + 8);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       // A typo'd flag must not fall through to atoi (frames=0 would make
       // the smoke run pass vacuously).
       std::fprintf(stderr,
                    "unknown option '%s'\nusage: video_pipeline [frames] "
-                   "[workers] [--backend=sim|native] [--plan]\n",
+                   "[workers] [--backend=sim|native] [--plan] [--tiles=N]\n",
                    argv[i]);
       return 2;
     } else if (positional == 0) {
@@ -93,11 +109,18 @@ int main(int argc, char** argv) {
   std::printf(
       "video_pipeline: %d frames through color->conv2d->SAD, %d workers, "
       "%s backend%s\n(real data flows between stages; every frame is "
-      "checked against the composed\nscalar reference end-to-end)\n\n",
+      "checked against the composed\nscalar reference end-to-end)\n",
       frames, session.workers(),
       plan && !backend_explicit ? "planner-chosen"
                                 : kernels::to_string(backend),
       plan ? ", planner-driven stages" : "");
+  if (tiles > 1) {
+    std::printf(
+        "streamed tiling: each frame is %d tiles; stage S+1 starts tile k "
+        "as soon as\nstage S finishes it (Pipeline::tile + submit)\n",
+        tiles);
+  }
+  std::printf("\n");
 
   // One stage request, either hard-coded (config D, the pre-planner
   // convention) or handed to the cost-model planner.
@@ -137,19 +160,33 @@ int main(int argc, char** argv) {
       for (int f = next_frame.fetch_add(1); f < frames;
            f = next_frame.fetch_add(1)) {
         // A fresh frame every time — the data plane changes, the control
-        // plane (prepared programs) is reused.
+        // plane (prepared programs) is reused. With --tiles=N the frame is
+        // N base frames back to back; Pipeline::tile() cuts it along the
+        // first stage's tile geometry.
+        const size_t base_pixels = 3 * 256;
         const auto rgb = ref::make_pixels(
-            3 * 256, kFrameSeed + static_cast<uint64_t>(f));
-        std::vector<int16_t> sads(kernels::MotionEstKernel::kCandidates, 0);
+            base_pixels * static_cast<size_t>(tiles),
+            kFrameSeed + static_cast<uint64_t>(f));
+        std::vector<int16_t> sads(kernels::MotionEstKernel::kCandidates *
+                                      static_cast<size_t>(tiles),
+                                  0);
 
-        auto run =
-            session.pipeline()
-                .then(stage_request("Color Convert"))
-                .then(stage_request("2D Convolution"))
-                .then(stage_request("Motion Estimation"))
-                .input(std::span<const int16_t>(rgb))
-                .output(std::span<int16_t>(sads))
-                .run();
+        auto pipe = session.pipeline()
+                        .then(stage_request("Color Convert"))
+                        .then(stage_request("2D Convolution"))
+                        .then(stage_request("Motion Estimation"))
+                        .input(std::span<const int16_t>(rgb))
+                        .output(std::span<int16_t>(sads));
+        api::Result<api::PipelineRun> run = [&] {
+          if (tiles == 1) return pipe.run();
+          // Streamed: submit() returns immediately, the driver thread
+          // overlaps stages across tiles, wait() joins and gathers.
+          auto submitted = pipe.tile().submit();
+          if (!submitted.ok()) {
+            return api::Result<api::PipelineRun>(submitted.error());
+          }
+          return submitted->wait();
+        }();
         if (!run.ok()) {
           std::lock_guard lock(agg_mu);
           ++failures;
@@ -158,7 +195,16 @@ int main(int argc, char** argv) {
           continue;
         }
         // Compose the reference outside the lock — it is per-frame work.
-        const auto want = kernels::composed_video_pipeline_ref(rgb);
+        // Each tile must match the composed reference of its own RGB
+        // window, independently of its neighbours.
+        std::vector<int16_t> want;
+        want.reserve(sads.size());
+        for (int k = 0; k < tiles; ++k) {
+          const auto tile_want = kernels::composed_video_pipeline_ref(
+              std::span<const int16_t>(rgb).subspan(
+                  static_cast<size_t>(k) * base_pixels, base_pixels));
+          want.insert(want.end(), tile_want.begin(), tile_want.end());
+        }
         std::lock_guard lock(agg_mu);
         if (want != sads) {
           ++failures;

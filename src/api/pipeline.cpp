@@ -1,12 +1,22 @@
 #include "api/pipeline.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "api/session.h"
 #include "kernels/registry.h"
+#include "runtime/tiling.h"
 
 namespace subword::api {
+
+namespace {
+
+std::string stage_context(size_t i, const std::string& kernel) {
+  return "pipeline stage " + std::to_string(i) + " (" + kernel + ")";
+}
+
+}  // namespace
 
 Pipeline& Pipeline::then(Request stage) {
   stages_.push_back(std::move(stage));
@@ -33,21 +43,23 @@ Pipeline& Pipeline::output(std::span<int16_t> samples) {
   return *this;
 }
 
-Result<PipelineRun> Pipeline::run() {
+Pipeline& Pipeline::tile() {
+  tile_ = true;
+  return *this;
+}
+
+Result<Pipeline::Validated> Pipeline::validate() const {
   if (stages_.empty()) {
     return ApiError{ErrorCode::kInvalidArgument, "pipeline has no stages",
                     "pipeline"};
   }
 
-  // -- Validate the whole chain before running anything ---------------------
-  std::vector<runtime::KernelJob> jobs;
-  std::vector<kernels::BufferSpec> specs;
-  jobs.reserve(stages_.size());
-  specs.reserve(stages_.size());
+  Validated v;
+  v.jobs.reserve(stages_.size());
+  v.specs.reserve(stages_.size());
   for (size_t i = 0; i < stages_.size(); ++i) {
     const Request& st = stages_[i];
-    const std::string context =
-        "pipeline stage " + std::to_string(i) + " (" + st.kernel_name() + ")";
+    const std::string context = stage_context(i, st.kernel_name());
     if (st.session_ != session_) {
       return ApiError{ErrorCode::kInvalidArgument,
                       "stage was built on a different Session", context};
@@ -72,55 +84,123 @@ Result<PipelineRun> Pipeline::run() {
                       "cannot be a pipeline stage",
                       context};
     }
-    specs.push_back(info->buffers);
-    jobs.push_back(*std::move(job));
+    v.specs.push_back(info->buffers);
+    v.jobs.push_back(*std::move(job));
   }
 
-  if (input_.size() != specs.front().input_bytes) {
+  for (size_t i = 1; i < v.specs.size(); ++i) {
+    // A downstream stage may consume a prefix of the upstream output, but
+    // never more than the upstream produced. In a tiled run the rule is
+    // the same, applied per tile.
+    if (v.specs[i - 1].output_bytes < v.specs[i].input_bytes) {
+      return ApiError{
+          ErrorCode::kPipelineMismatch,
+          v.jobs[i - 1].kernel + " produces " +
+              std::to_string(v.specs[i - 1].output_bytes) + " bytes but " +
+              v.jobs[i].kernel + " needs " +
+              std::to_string(v.specs[i].input_bytes),
+          "pipeline stage " + std::to_string(i)};
+    }
+  }
+
+  if (tile_) {
+    const std::string context = stage_context(0, v.jobs.front().kernel);
+    std::string terr;
+    const auto geom =
+        runtime::plan_tiles(v.specs.front(), input_.size(), &terr);
+    if (!geom) {
+      return ApiError{ErrorCode::kTilingUnsupported, std::move(terr),
+                      context};
+    }
+    if (geom->tail_units != 0) {
+      // A padded tail tile's valid output is a fragment of a tile, which
+      // cannot feed a downstream stage expecting a full upstream tile.
+      return ApiError{ErrorCode::kTilingUnsupported,
+                      "frame leaves a partial tail tile; a streamed "
+                      "pipeline needs the frame to tile exactly",
+                      context};
+    }
+    v.geom = *geom;
+    const size_t want = geom->tiles * v.specs.back().output_bytes;
+    if (!output_.empty() && output_.size() != want) {
+      return ApiError{
+          ErrorCode::kBufferSizeMismatch,
+          "pipeline output is " + std::to_string(output_.size()) +
+              " bytes, the gathered tiled output is " + std::to_string(want),
+          stage_context(v.specs.size() - 1, v.jobs.back().kernel)};
+    }
+    return v;
+  }
+
+  if (input_.size() != v.specs.front().input_bytes) {
     return ApiError{
         ErrorCode::kBufferSizeMismatch,
         "pipeline input is " + std::to_string(input_.size()) +
             " bytes, first stage wants " +
-            std::to_string(specs.front().input_bytes),
-        "pipeline stage 0 (" + jobs.front().kernel + ")"};
+            std::to_string(v.specs.front().input_bytes),
+        stage_context(0, v.jobs.front().kernel)};
   }
-  for (size_t i = 1; i < specs.size(); ++i) {
-    // A downstream stage may consume a prefix of the upstream output, but
-    // never more than the upstream produced.
-    if (specs[i - 1].output_bytes < specs[i].input_bytes) {
-      return ApiError{
-          ErrorCode::kPipelineMismatch,
-          jobs[i - 1].kernel + " produces " +
-              std::to_string(specs[i - 1].output_bytes) + " bytes but " +
-              jobs[i].kernel + " needs " +
-              std::to_string(specs[i].input_bytes),
-          "pipeline stage " + std::to_string(i)};
-    }
-  }
-  if (!output_.empty() && output_.size() != specs.back().output_bytes) {
+  if (!output_.empty() && output_.size() != v.specs.back().output_bytes) {
     return ApiError{
         ErrorCode::kBufferSizeMismatch,
         "pipeline output is " + std::to_string(output_.size()) +
             " bytes, last stage produces " +
-            std::to_string(specs.back().output_bytes),
-        "pipeline stage " + std::to_string(specs.size() - 1)};
+            std::to_string(v.specs.back().output_bytes),
+        stage_context(v.specs.size() - 1, v.jobs.back().kernel)};
   }
+  return v;
+}
 
+Result<PipelineRun> Pipeline::run() {
+  auto v = validate();
+  if (!v.ok()) return v.error();
+  return tile_ ? run_tiled(*std::move(v)) : run_untiled(*std::move(v));
+}
+
+Result<SubmittedPipeline> Pipeline::submit() {
+  auto v = validate();
+  if (!v.ok()) return v.error();
+  // The driver thread owns a moved-in copy of this Pipeline (stages,
+  // spans, tiling flag); the spans still view caller memory, which must
+  // outlive wait(). run() revalidates — cheap, and it keeps one code path.
+  auto state = std::make_shared<Pipeline>(std::move(*this));
+  std::promise<Result<PipelineRun>> promise;
+  auto fut = promise.get_future();
+  std::thread driver([state, promise = std::move(promise)]() mutable {
+    promise.set_value(state->run());
+  });
+  return SubmittedPipeline(std::move(driver), std::move(fut));
+}
+
+SubmittedPipeline::~SubmittedPipeline() {
+  if (driver_.joinable()) driver_.join();
+}
+
+Result<PipelineRun> SubmittedPipeline::wait() {
+  if (driver_.joinable()) driver_.join();
+  if (!fut_.valid()) {
+    return ApiError{ErrorCode::kInvalidArgument,
+                    "wait() already consumed this SubmittedPipeline",
+                    "pipeline"};
+  }
+  return fut_.get();
+}
+
+Result<PipelineRun> Pipeline::run_untiled(Validated v) {
   // -- Execute stage by stage (each stage depends on its predecessor) -------
   PipelineRun out;
-  out.stages.reserve(jobs.size());
+  out.stages.reserve(v.jobs.size());
   out.all_cache_hits = true;
   out.total_cycles = 0;
   std::vector<uint8_t> upstream;              // previous stage's output
   std::span<const uint8_t> feed = input_;     // what the next stage reads
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    const std::string kernel = jobs[i].kernel;
-    const std::string context =
-        "pipeline stage " + std::to_string(i) + " (" + kernel + ")";
-    std::vector<uint8_t> stage_out(specs[i].output_bytes);
-    jobs[i].buffers.input = feed.first(specs[i].input_bytes);
-    jobs[i].buffers.output = stage_out;
-    auto fut = session_->engine_.submit(std::move(jobs[i]));
+  for (size_t i = 0; i < v.jobs.size(); ++i) {
+    const std::string kernel = v.jobs[i].kernel;
+    const std::string context = stage_context(i, kernel);
+    std::vector<uint8_t> stage_out(v.specs[i].output_bytes);
+    v.jobs[i].buffers.input = feed.first(v.specs[i].input_bytes);
+    v.jobs[i].buffers.output = stage_out;
+    auto fut = session_->engine_.submit(std::move(v.jobs[i]));
     // to_response maps a failed stage verification to kVerificationFailed,
     // so an ok() response here is bit-exact for the data the stage saw.
     auto resp = detail::to_response(fut.get(), context);
@@ -135,8 +215,8 @@ Result<PipelineRun> Pipeline::run() {
     StageRun sr;
     sr.kernel = kernel;
     sr.response = *std::move(resp);
-    sr.input_bytes = specs[i].input_bytes;
-    sr.output_bytes = specs[i].output_bytes;
+    sr.input_bytes = v.specs[i].input_bytes;
+    sr.output_bytes = v.specs[i].output_bytes;
     out.stages.push_back(std::move(sr));
     upstream = std::move(stage_out);
     feed = upstream;
@@ -145,6 +225,120 @@ Result<PipelineRun> Pipeline::run() {
     std::copy(upstream.begin(), upstream.end(), output_.begin());
   }
   out.output = std::move(upstream);
+  return out;
+}
+
+Result<PipelineRun> Pipeline::run_tiled(Validated v) {
+  const size_t S = v.jobs.size();       // stages
+  const size_t K = v.geom.tiles;        // tiles (exact fit; no tail)
+  const size_t out_bytes = v.specs.back().output_bytes;
+
+  // Per-(stage, tile) output buffers and futures. Tile k's stage-s input
+  // aliases a prefix of bufs[s-1][k], so a job is submitted only after its
+  // predecessor tile settled — the wavefront order below enforces that.
+  std::vector<std::vector<std::vector<uint8_t>>> bufs(S);
+  std::vector<std::vector<std::future<runtime::JobResult>>> futs(S);
+  for (size_t s = 0; s < S; ++s) {
+    bufs[s].assign(K, std::vector<uint8_t>(v.specs[s].output_bytes));
+    futs[s].resize(K);
+  }
+  std::vector<runtime::JobResultAccumulator> acc(S);
+  std::optional<ApiError> failure;
+
+  PipelineRun out;
+  out.tiles = K;
+  out.output.resize(K * out_bytes);
+
+  const auto submit_job = [&](size_t s, size_t k) {
+    runtime::KernelJob job = v.jobs[s];  // shared knobs, per-tile buffers
+    job.buffers.input =
+        s == 0 ? input_.subspan(k * v.geom.input_stride,
+                                v.geom.tile_input_bytes)
+               : std::span<const uint8_t>(bufs[s - 1][k])
+                     .first(v.specs[s].input_bytes);
+    job.buffers.output = bufs[s][k];
+    futs[s][k] = session_->engine_.submit(std::move(job));
+  };
+  // Wait for (s, k), fold it into the stage aggregate; on the first
+  // failure record the typed error and stop the wavefront.
+  const auto settle = [&](size_t s, size_t k) {
+    runtime::JobResult r = futs[s][k].get();
+    if (!r.ok || !r.run.verified) {
+      if (!failure) {
+        auto resp =
+            detail::to_response(std::move(r), stage_context(s, v.jobs[s].kernel));
+        failure = resp.error();
+      }
+      return;
+    }
+    acc[s].add(std::move(r));
+  };
+
+  // Stage 0 has no dependencies: every tile goes to the engine up front
+  // (a bounded queue turns this into backpressure), so the workers can
+  // spread the whole frame immediately.
+  for (size_t k = 0; k < K; ++k) submit_job(0, k);
+
+  // Then a wavefront over the (stage, tile) grid in diagonal order
+  // d = s + k: processing (s, k) first settles its predecessor (s-1, k) —
+  // submitted one diagonal earlier — then submits (s, k) itself, so stage
+  // s starts tile k as soon as stage s-1 finished it while stage s-1 is
+  // still working on tile k+1. The virtual row s == S settles the final
+  // stage and gathers its tile into place.
+  for (size_t d = 1; d < S + K && !failure; ++d) {
+    const size_t s_hi = std::min(d, S);
+    const size_t s_lo = std::max<size_t>(1, d >= K - 1 ? d - (K - 1) : 1);
+    for (size_t s = s_hi + 1; s-- > s_lo;) {
+      const size_t k = d - s;
+      settle(s - 1, k);
+      if (failure) break;
+      if (s == S) {
+        std::copy(bufs[S - 1][k].begin(), bufs[S - 1][k].end(),
+                  out.output.begin() + static_cast<ptrdiff_t>(k * out_bytes));
+      } else {
+        submit_job(s, k);
+      }
+    }
+  }
+  if (failure) {
+    // Drain every in-flight tile before the buffers they reference die.
+    for (auto& stage : futs) {
+      for (auto& f : stage) {
+        if (f.valid()) f.get();
+      }
+    }
+    return *failure;
+  }
+
+  out.all_cache_hits = true;
+  out.total_cycles = 0;
+  for (size_t s = 0; s < S; ++s) {
+    const size_t jobs = acc[s].jobs();
+    const size_t hits = acc[s].cache_hits();
+    const int workers = acc[s].workers_used();
+    auto resp = detail::to_response(std::move(acc[s]).take(),
+                                    stage_context(s, v.jobs[s].kernel));
+    if (!resp.ok()) return resp.error();  // unreachable: every tile settled ok
+    resp->jobs_fanned_out = jobs;
+    resp->tile_cache_hits = hits;
+    resp->workers_used = workers;
+    if (const auto c = resp->run.stats.cycles_opt(); c && out.total_cycles) {
+      *out.total_cycles += *c;
+    } else {
+      out.total_cycles.reset();
+    }
+    out.total_routed_operands += resp->run.stats.spu_routed_ops;
+    out.all_cache_hits = out.all_cache_hits && resp->cache_hit;
+    StageRun sr;
+    sr.kernel = v.jobs[s].kernel;
+    sr.response = *std::move(resp);
+    sr.input_bytes = v.specs[s].input_bytes;
+    sr.output_bytes = v.specs[s].output_bytes;
+    out.stages.push_back(std::move(sr));
+  }
+  if (!output_.empty()) {
+    std::copy(out.output.begin(), out.output.end(), output_.begin());
+  }
   return out;
 }
 

@@ -76,6 +76,11 @@ Request& Request::backend(ExecBackend b) {
   return *this;
 }
 
+Request& Request::tile() {
+  tile_ = true;
+  return *this;
+}
+
 Request& Request::input(std::span<const uint8_t> bytes) {
   buffers_.input = bytes;
   return *this;
@@ -149,7 +154,34 @@ Result<runtime::KernelJob> Request::build() const {
     what += " on the native-SWAR backend; use the simulator backend";
     return ApiError{ErrorCode::kBackendUnsupported, std::move(what), context};
   }
-  if (!buffers_.empty()) {
+  if (tile_) {
+    if (!info->buffers.supported()) {
+      return ApiError{ErrorCode::kBuffersUnsupported,
+                      "kernel does not accept user-owned buffers", context};
+    }
+    if (buffers_.input.empty()) {
+      return ApiError{ErrorCode::kInvalidArgument,
+                      "tile() needs a bound input frame to derive the tile "
+                      "geometry from",
+                      context};
+    }
+    std::string terr;
+    const auto geom =
+        runtime::plan_tiles(info->buffers, buffers_.input.size(), &terr);
+    if (!geom) {
+      return ApiError{ErrorCode::kTilingUnsupported, std::move(terr),
+                      context};
+    }
+    if (!buffers_.output.empty() &&
+        buffers_.output.size() != geom->frame_output_bytes) {
+      return ApiError{
+          ErrorCode::kBufferSizeMismatch,
+          "output buffer is " + std::to_string(buffers_.output.size()) +
+              " bytes, the gathered frame output is " +
+              std::to_string(geom->frame_output_bytes),
+          context};
+    }
+  } else if (!buffers_.empty()) {
     if (!info->buffers.supported()) {
       return ApiError{ErrorCode::kBuffersUnsupported,
                       "kernel does not accept user-owned buffers", context};
@@ -195,6 +227,20 @@ Result<Submitted> Request::submit() {
   auto job = build();
   if (!job.ok()) return job.error();
   const std::string context = "request(" + job->kernel + ")";
+  if (tile_) {
+    // build() validated the geometry; re-derive it and fan the frame out.
+    // The prototype job sheds the frame spans — every tile binds its own
+    // window inside submit_tiled.
+    const auto* info = kernels::find_kernel_info(job->kernel);
+    const auto geom =
+        runtime::plan_tiles(info->buffers, job->buffers.input.size());
+    const std::span<const uint8_t> input = job->buffers.input;
+    const std::span<uint8_t> output = job->buffers.output;
+    job->buffers = {};
+    return Submitted(
+        runtime::submit_tiled(session_->engine_, *job, *geom, input, output),
+        context);
+  }
   return Submitted(session_->engine_.submit(*std::move(job)), context);
 }
 
@@ -205,6 +251,16 @@ Result<Response> Request::run() {
 }
 
 Result<Response> Submitted::wait() {
+  if (tiled_.has_value()) {
+    auto gathered = runtime::gather_tiled(*std::move(tiled_));
+    tiled_.reset();
+    auto resp = detail::to_response(std::move(gathered.result), context_);
+    if (!resp.ok()) return resp.error();
+    resp->jobs_fanned_out = gathered.jobs;
+    resp->tile_cache_hits = gathered.cache_hits;
+    resp->workers_used = gathered.workers_used;
+    return resp;
+  }
   if (!fut_.valid()) {
     return ApiError{ErrorCode::kInvalidArgument,
                     "wait() already consumed this Submitted", context_};
@@ -252,6 +308,7 @@ Result<Response> to_response(runtime::JobResult r,
   resp.execute_ns = r.execute_ns;
   resp.worker = r.worker;
   resp.plan = std::move(r.plan);
+  resp.tile_cache_hits = r.cache_hit ? 1 : 0;
   return resp;
 }
 

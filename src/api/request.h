@@ -20,6 +20,7 @@
 
 #include "api/result.h"
 #include "runtime/batch_engine.h"
+#include "runtime/tiling.h"
 
 namespace subword::api {
 
@@ -45,6 +46,17 @@ struct Response {
   // explicitly-configured requests.
   std::shared_ptr<const PlanSummary> plan;
 
+  // -- Fan-out economics (tile() requests; degenerate 1/1 otherwise) -------
+  // How many engine jobs this one request became, how many of them
+  // replayed the shared cached preparation (tiles - 1 when the shape was
+  // cold, tiles when warm), and how many distinct workers the tiles
+  // actually spread across. For tiled requests the scalar fields above
+  // aggregate over the fan-out: prepare_ns/execute_ns are sums, cache_hit
+  // is the conjunction, worker is -1 when tiles landed on more than one.
+  size_t jobs_fanned_out = 1;
+  size_t tile_cache_hits = 0;
+  int workers_used = 1;
+
   // Simulator cycles, or nullopt when the execution backend has no cycle
   // model (native-SWAR). Prefer this over run.stats.cycles when mixing
   // backends: the raw field reads 0 there and poisons averages.
@@ -53,7 +65,9 @@ struct Response {
   }
 };
 
-// A validated request in flight. Move-only; wait() resolves exactly once.
+// A validated request in flight — one engine job, or a tiled fan-out of
+// them. Move-only; wait() resolves exactly once. The caller's buffer spans
+// must stay alive until wait() returns.
 class Submitted {
  public:
   [[nodiscard]] Result<Response> wait();
@@ -62,8 +76,11 @@ class Submitted {
   friend class Request;
   Submitted(std::future<runtime::JobResult> fut, std::string context)
       : fut_(std::move(fut)), context_(std::move(context)) {}
+  Submitted(runtime::TiledSubmission sub, std::string context)
+      : tiled_(std::move(sub)), context_(std::move(context)) {}
 
   std::future<runtime::JobResult> fut_;
+  std::optional<runtime::TiledSubmission> tiled_;
   std::string context_;
 };
 
@@ -101,6 +118,21 @@ class Request {
   // report kBackendUnsupported at build() time (KernelInfo::native_backend
   // enumerates support).
   Request& backend(ExecBackend b);
+
+  // Tile the bound input frame across the engine: the request fans out as
+  // one KernelJob per base tile (per the kernel's BufferSpec tile
+  // geometry — stride, halo, unit granularity), every tile sharing the
+  // same cached PreparedProgram, and the Response aggregates the fan-out
+  // (see the economics fields). Requires a tileable kernel and a bound
+  // input whose size plan_tiles accepts: any frame >= one base tile for
+  // halo-free kernels (a trailing remainder must be a whole number of
+  // units; it runs as a zero-padded tail tile), an exact `base + k*stride`
+  // fit for halo'd ones. Violations are kTilingUnsupported at build().
+  // The output, when bound, must be exactly the gathered frame-output
+  // size. Note build()'s KernelJob then carries the *frame* spans — it
+  // documents the request but is not directly engine-executable when the
+  // frame is larger than one tile; submit() performs the fan-out.
+  Request& tile();
 
   // User-owned buffers (kernels advertising a BufferSpec only). The spans
   // view caller memory that must stay alive until the response arrives.
@@ -141,6 +173,7 @@ class Request {
   bool has_opts_ = false;
   sim::PipelineConfig pc_{};
   kernels::BufferBinding buffers_{};
+  bool tile_ = false;          // tile() called: submit() fans out per tile
   bool plan_ = false;          // auto_plan() / budgets called
   bool mode_set_ = false;      // an explicit mode knob was called
   bool backend_set_ = false;   // backend() was called (pins it under plan)

@@ -22,6 +22,10 @@ enum class ErrorCode {
   kNoManualSpuVariant,   // SpuMode::Manual requested, kernel has none
   kBuffersUnsupported,   // kernel advertises no BufferSpec
   kBufferSizeMismatch,   // bound span size != the kernel's BufferSpec
+  kTilingUnsupported,    // tile() requested but the kernel declares no tile
+                         // geometry, or the bound frame does not tile
+                         // (halo'd kernels need an exact fit; remainders
+                         // must be whole units)
   kPipelineMismatch,     // stage N's output cannot feed stage N+1's input
   kBackendUnsupported,   // the requested execution backend cannot run this
                          // kernel (native lowering rejected the program)
@@ -38,6 +42,7 @@ enum class ErrorCode {
     case ErrorCode::kNoManualSpuVariant: return "NoManualSpuVariant";
     case ErrorCode::kBuffersUnsupported: return "BuffersUnsupported";
     case ErrorCode::kBufferSizeMismatch: return "BufferSizeMismatch";
+    case ErrorCode::kTilingUnsupported: return "TilingUnsupported";
     case ErrorCode::kPipelineMismatch: return "PipelineMismatch";
     case ErrorCode::kBackendUnsupported: return "BackendUnsupported";
     case ErrorCode::kSessionShutdown: return "SessionShutdown";

@@ -5,8 +5,10 @@
 namespace subword::api {
 
 Session::Session(SessionOptions opts)
-    : engine_(runtime::BatchEngineOptions{.workers = opts.workers,
-                                          .cache = std::move(opts.cache)}) {}
+    : engine_(runtime::BatchEngineOptions{
+          .workers = opts.workers,
+          .queue_capacity = opts.queue_capacity,
+          .cache = std::move(opts.cache)}) {}
 
 Session::~Session() = default;  // ~BatchEngine drains
 

@@ -28,12 +28,19 @@ namespace subword::api {
 
 struct SessionOptions {
   int workers = 0;  // 0: hardware_concurrency (at least 1)
+  // Bounds the engine's job queue: submissions (including tiled fan-outs)
+  // block while this many jobs are already waiting, instead of growing
+  // the queue without limit. 0: unbounded. Blocked time is visible as
+  // EngineStats::submit_block_ns.
+  int queue_capacity = 0;
   // Shared orchestration cache; null means the Session owns a private one.
   std::shared_ptr<runtime::OrchestrationCache> cache;
 };
 
 class Session {
  public:
+  using Options = SessionOptions;
+
   explicit Session(SessionOptions opts = {});
   ~Session();  // drains in-flight work (BatchEngine::shutdown)
 

@@ -179,6 +179,12 @@ BufferSpec ColorConvertKernel::buffer_spec() const {
   BufferSpec s;
   s.input_bytes = 3 * kPixels * 2;  // interleaved RGB, 16-bit lanes
   s.output_bytes = kPixels * 2;     // the Y plane (kOutputAddr)
+  // Pointwise per pixel: tiles of a larger frame are independent, and a
+  // trailing partial tile can be cut at any pixel (6 input bytes -> 2
+  // output bytes) and zero-padded — zero is a valid RGB sample.
+  s.tileable = true;
+  s.tile_unit_input_bytes = 3 * 2;
+  s.tile_unit_output_bytes = 2;
   return s;
 }
 

@@ -169,6 +169,13 @@ BufferSpec Conv2dKernel::buffer_spec() const {
   BufferSpec s;
   s.input_bytes = static_cast<size_t>(kInW) * kInH * 2;
   s.output_bytes = static_cast<size_t>(kOutW) * kOutH * 2;
+  // A taller image tiles vertically: each tile re-reads the previous
+  // tile's last two rows (the 3x3 window's halo), so consecutive output
+  // tiles are seamless — tile k covers input rows [8k, 8k + kInH). The
+  // halo couples tiles, so partial tails cannot be zero-padded and the
+  // frame must tile exactly (no unit granularity).
+  s.tileable = true;
+  s.tile_input_halo_bytes = 2 * kInW * 2;  // two overlap rows
   return s;
 }
 

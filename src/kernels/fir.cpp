@@ -242,6 +242,15 @@ BufferSpec FirKernel::buffer_spec() const {
   s.input_bytes = kSamples * 2;
   s.output_bytes = kSamples * 2;
   s.input_addr = kXBase;
+  // Block-FIR semantics: every tile is an independent 150-sample block
+  // starting from the zeroed history window, so a long signal tiles into
+  // consecutive blocks with no halo. Partial tails cut at any sample
+  // (2 bytes in -> 2 bytes out); the zero padding matches the kernel's
+  // own zero-history convention, and a sample's output depends only on
+  // samples at or before it, so the valid prefix is unaffected.
+  s.tileable = true;
+  s.tile_unit_input_bytes = 2;
+  s.tile_unit_output_bytes = 2;
   return s;
 }
 

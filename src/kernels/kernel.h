@@ -42,6 +42,24 @@ struct BufferSpec {
   uint64_t input_addr = kInputAddr;
   uint64_t output_addr = kOutputAddr;
 
+  // -- Tile geometry (the scatter/gather layer, runtime/tiling.h) -----------
+  // A tileable kernel treats its fixed-size primary I/O as one *base tile*
+  // of an arbitrarily large frame: input tile k starts at byte
+  // k * (input_bytes - tile_input_halo_bytes) of the frame and contributes
+  // output_bytes at byte k * output_bytes of the gathered output. A
+  // nonzero halo means consecutive input tiles re-read the trailing halo
+  // bytes (conv2d re-reads two image rows so its 3x3 window is seamless
+  // across tiles); halo'd kernels cannot pad a partial tail tile — the
+  // frame must tile exactly. Halo-free kernels may instead declare a unit
+  // granularity: a frame remainder that is a whole number of units is
+  // zero-padded up to a full tile and only the units' worth of output is
+  // gathered back (zero is in-range for every tileable kernel's data
+  // contract, so the padded tile still verifies bit-exactly).
+  bool tileable = false;
+  size_t tile_input_halo_bytes = 0;
+  size_t tile_unit_input_bytes = 0;   // 0: partial tail tiles unsupported
+  size_t tile_unit_output_bytes = 0;
+
   [[nodiscard]] bool supported() const {
     return input_bytes != 0 && output_bytes != 0;
   }

@@ -198,6 +198,11 @@ BufferSpec MotionEstKernel::buffer_spec() const {
   BufferSpec s;
   s.input_bytes = kBlockBytes;
   s.output_bytes = kCandidates * 2;
+  // A frame of current blocks scores block-by-block against the same
+  // candidate list: tiles are independent whole blocks (no halo, and no
+  // finer unit — a fractional 16x16 block is meaningless, so the frame
+  // must be a whole number of blocks).
+  s.tileable = true;
   return s;
 }
 

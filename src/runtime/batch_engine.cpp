@@ -23,6 +23,8 @@ uint64_t now_ns() {
 BatchEngine::BatchEngine(Options opts) {
   cache_ = opts.cache ? std::move(opts.cache)
                       : std::make_shared<OrchestrationCache>();
+  queue_capacity_ =
+      opts.queue_capacity > 0 ? static_cast<size_t>(opts.queue_capacity) : 0;
   int n = opts.workers;
   if (n <= 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
@@ -41,7 +43,18 @@ std::future<JobResult> BatchEngine::submit(KernelJob job) {
   task.job = std::move(job);
   std::future<JobResult> fut = task.promise.get_future();
   {
-    std::lock_guard lock(mu_);
+    std::unique_lock lock(mu_);
+    if (queue_capacity_ != 0 && accepting_ &&
+        queue_.size() >= queue_capacity_) {
+      // Bounded queue: block the submitter (backpressure) until a worker
+      // makes room or shutdown begins. Workers never wait on submitters,
+      // so this cannot deadlock a pipeline driver feeding the engine.
+      const uint64_t b0 = now_ns();
+      cv_space_.wait(lock, [this] {
+        return !accepting_ || queue_.size() < queue_capacity_;
+      });
+      agg_.submit_block_ns += now_ns() - b0;
+    }
     if (!accepting_) {
       ++agg_.jobs_rejected;
       JobResult r;
@@ -52,7 +65,10 @@ std::future<JobResult> BatchEngine::submit(KernelJob job) {
       return fut;
     }
     ++agg_.jobs_submitted;
+    task.enqueue_ns = now_ns();
     queue_.push_back(std::move(task));
+    agg_.queue_peak_depth =
+        std::max(agg_.queue_peak_depth, static_cast<uint64_t>(queue_.size()));
   }
   cv_.notify_one();
   return fut;
@@ -80,6 +96,7 @@ void BatchEngine::shutdown() {
     }
   }
   cv_.notify_all();
+  cv_space_.notify_all();
   if (join_here) {
     for (auto& t : threads_) {
       if (t.joinable()) t.join();
@@ -96,6 +113,7 @@ void BatchEngine::cancel() {
     dropped.swap(queue_);
   }
   cv_.notify_all();
+  cv_space_.notify_all();
   for (auto& task : dropped) {
     JobResult r;
     r.ok = false;
@@ -117,6 +135,10 @@ EngineStats BatchEngine::stats() const {
     std::lock_guard lock(mu_);
     s = agg_;
   }
+  s.scratch_machine_allocs =
+      scratch_machine_allocs_.load(std::memory_order_relaxed);
+  s.scratch_arena_allocs =
+      scratch_arena_allocs_.load(std::memory_order_relaxed);
   s.cache = cache_->stats();
   return s;
 }
@@ -134,7 +156,9 @@ void BatchEngine::worker_loop(int worker_id) {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      agg_.queue_wait_ns += now_ns() - task.enqueue_ns;
     }
+    if (queue_capacity_ != 0) cv_space_.notify_one();
     JobResult result = run_job(task.job, worker_id, scratch);
     finish(std::move(task), std::move(result));
   }
@@ -200,6 +224,7 @@ JobResult BatchEngine::run_job(const KernelJob& job, int worker_id,
     if (native) {
       if (!scratch.arena) {
         scratch.arena = std::make_unique<sim::Memory>(kernels::kMemBytes);
+        scratch_arena_allocs_.fetch_add(1, std::memory_order_relaxed);
       }
       r.run = kernels::execute_native(*kernel, *prepared,
                                       scratch.arena.get(), &job.buffers);
@@ -207,6 +232,7 @@ JobResult BatchEngine::run_job(const KernelJob& job, int worker_id,
       if (!scratch.machine) {
         scratch.machine = std::make_unique<sim::Machine>(
             prepared->program, kernels::kMemBytes, prepared->pc);
+        scratch_machine_allocs_.fetch_add(1, std::memory_order_relaxed);
       }
       r.run = kernels::execute_prepared(*kernel, *prepared,
                                         scratch.machine.get(), &job.buffers);

@@ -85,11 +85,29 @@ struct EngineStats {
   uint64_t jobs_rejected = 0;   // submit() after shutdown
   uint64_t cycles_simulated = 0;
   uint64_t instructions_retired = 0;
+  // -- Contention audit (what flattens worker scaling, and where) ----------
+  // Time jobs spent queued (enqueue -> dequeue, summed): rises with load
+  // or with too few workers. queue_peak_depth is the deepest the single
+  // queue ever got; submit_block_ns is time submitters spent blocked on a
+  // full bounded queue (queue_capacity > 0 only — backpressure, not a
+  // failure). scratch_*_allocs count per-worker Machine/arena
+  // constructions: they must plateau at the worker count, anything more
+  // means the reset-not-reallocate economy broke.
+  uint64_t queue_wait_ns = 0;
+  uint64_t queue_peak_depth = 0;
+  uint64_t submit_block_ns = 0;
+  uint64_t scratch_machine_allocs = 0;
+  uint64_t scratch_arena_allocs = 0;
   CacheStats cache;
 };
 
 struct BatchEngineOptions {
   int workers = 0;  // 0: hardware_concurrency (at least 1)
+  // Bounds the job queue: submit() blocks (backpressure) while
+  // `queue_capacity` jobs are already waiting, instead of growing the
+  // queue without limit. 0: unbounded. Shutdown wakes blocked submitters,
+  // whose jobs then resolve as rejected.
+  int queue_capacity = 0;
   // Shared cache; when null the engine owns a private one. Sharing one
   // cache across engines models several service replicas amortizing the
   // same orchestrations.
@@ -135,6 +153,7 @@ class BatchEngine {
   struct Task {
     KernelJob job;
     std::promise<JobResult> promise;
+    uint64_t enqueue_ns = 0;  // queue-wait accounting
   };
 
   // Per-worker reusable execution state: the simulator's Machine and the
@@ -151,16 +170,22 @@ class BatchEngine {
 
   std::shared_ptr<OrchestrationCache> cache_;
   std::vector<std::thread> threads_;
+  size_t queue_capacity_ = 0;  // 0: unbounded
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        // workers: work available / draining
+  std::condition_variable cv_space_;  // submitters: bounded queue has room
   std::deque<Task> queue_;
   bool accepting_ = true;
   bool draining_ = false;   // workers exit once the queue empties
   bool joined_ = false;
 
-  // Aggregates (guarded by mu_).
+  // Aggregates (guarded by mu_). Scratch-allocation counters are updated
+  // lock-free from inside run_job, so they live outside agg_ as atomics
+  // and are folded into the snapshot by stats().
   EngineStats agg_;
+  std::atomic<uint64_t> scratch_machine_allocs_{0};
+  std::atomic<uint64_t> scratch_arena_allocs_{0};
 };
 
 }  // namespace subword::runtime

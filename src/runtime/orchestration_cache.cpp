@@ -1,6 +1,28 @@
 #include "runtime/orchestration_cache.h"
 
+#include <chrono>
+
 namespace subword::runtime {
+
+namespace {
+
+// Time one mutex acquisition for the contention audit. Two clock reads per
+// lookup (~tens of ns) against a map find — cheap enough to keep always
+// on, and the only way the scaling bench can attribute flat worker curves
+// to this shared_mutex rather than the queue or the arenas.
+template <typename Lock, typename Mutex>
+Lock timed_lock(Mutex& mu, std::atomic<uint64_t>& wait_ns) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Lock lock(mu);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  wait_ns.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()),
+      std::memory_order_relaxed);
+  return lock;
+}
+
+}  // namespace
 
 std::shared_ptr<const kernels::PreparedProgram>
 OrchestrationCache::get_or_prepare(const OrchestrationKey& key,
@@ -8,12 +30,14 @@ OrchestrationCache::get_or_prepare(const OrchestrationKey& key,
   std::shared_ptr<Entry> entry;
   {
     // Fast path: shared lock, entry exists and is already populated.
-    std::shared_lock lock(mu_);
+    auto lock = timed_lock<std::shared_lock<std::shared_mutex>>(
+        mu_, lock_wait_ns_);
     auto it = map_.find(key);
     if (it != map_.end()) entry = it->second;
   }
   if (!entry) {
-    std::unique_lock lock(mu_);
+    auto lock = timed_lock<std::unique_lock<std::shared_mutex>>(
+        mu_, lock_wait_ns_);
     auto [it, fresh] = map_.try_emplace(key);
     if (fresh) it->second = std::make_shared<Entry>();
     entry = it->second;
@@ -69,12 +93,14 @@ std::shared_ptr<const Plan> OrchestrationCache::get_or_plan(
     const PlanKey& key, const PlanFactory& factory) {
   std::shared_ptr<PlanEntry> entry;
   {
-    std::shared_lock lock(mu_);
+    auto lock = timed_lock<std::shared_lock<std::shared_mutex>>(
+        mu_, lock_wait_ns_);
     auto it = plans_.find(key);
     if (it != plans_.end()) entry = it->second;
   }
   if (!entry) {
-    std::unique_lock lock(mu_);
+    auto lock = timed_lock<std::unique_lock<std::shared_mutex>>(
+        mu_, lock_wait_ns_);
     auto [it, fresh] = plans_.try_emplace(key);
     if (fresh) it->second = std::make_shared<PlanEntry>();
     entry = it->second;
@@ -115,6 +141,7 @@ CacheStats OrchestrationCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.plan_hits = plan_hits_.load(std::memory_order_relaxed);
   s.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+  s.lock_wait_ns = lock_wait_ns_.load(std::memory_order_relaxed);
   {
     std::shared_lock lock(mu_);
     s.entries = map_.size();
@@ -131,6 +158,7 @@ void OrchestrationCache::clear() {
   misses_.store(0, std::memory_order_relaxed);
   plan_hits_.store(0, std::memory_order_relaxed);
   plan_misses_.store(0, std::memory_order_relaxed);
+  lock_wait_ns_.store(0, std::memory_order_relaxed);
 }
 
 OrchestrationKey make_key(const std::string& kernel, int repeats,

@@ -144,6 +144,12 @@ struct CacheStats {
   uint64_t plan_hits = 0;
   uint64_t plan_misses = 0;
   uint64_t plan_entries = 0;
+  // Contention audit: total time callers spent *acquiring* mu_ inside
+  // get_or_prepare/get_or_plan (shared and exclusive passes). On an idle
+  // cache this is nanoseconds per lookup; a large value against small
+  // hits+misses means the shared_mutex hot path is what flattens worker
+  // scaling (see bench_runtime_throughput's worker sweep).
+  uint64_t lock_wait_ns = 0;
 
   [[nodiscard]] double hit_rate() const {
     const uint64_t total = hits + misses;
@@ -211,6 +217,7 @@ class OrchestrationCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> plan_hits_{0};
   std::atomic<uint64_t> plan_misses_{0};
+  std::atomic<uint64_t> lock_wait_ns_{0};
 };
 
 // Key for a job as the batch engine prepares it.

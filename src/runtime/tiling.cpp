@@ -1,0 +1,174 @@
+#include "runtime/tiling.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace subword::runtime {
+
+namespace {
+
+std::optional<TileGeometry> fail(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<TileGeometry> plan_tiles(const kernels::BufferSpec& spec,
+                                       size_t frame_input,
+                                       std::string* error) {
+  if (!spec.supported() || !spec.tileable) {
+    return fail(error, "kernel's buffer contract is not tileable");
+  }
+  if (spec.tile_input_halo_bytes >= spec.input_bytes) {
+    return fail(error, "kernel declares a halo as large as its base tile");
+  }
+  const size_t stride = spec.input_bytes - spec.tile_input_halo_bytes;
+  if (frame_input < spec.input_bytes) {
+    return fail(error, "frame is " + std::to_string(frame_input) +
+                           " bytes but one base tile needs " +
+                           std::to_string(spec.input_bytes));
+  }
+
+  TileGeometry g;
+  g.input_stride = stride;
+  g.tile_input_bytes = spec.input_bytes;
+  g.tile_output_bytes = spec.output_bytes;
+  g.frame_input_bytes = frame_input;
+  g.full_tiles = 1 + (frame_input - spec.input_bytes) / stride;
+  g.tiles = g.full_tiles;
+  g.frame_output_bytes = g.full_tiles * spec.output_bytes;
+
+  const size_t consumed = spec.input_bytes + (g.full_tiles - 1) * stride;
+  const size_t rem = frame_input - consumed;
+  if (rem != 0) {
+    if (spec.tile_input_halo_bytes != 0) {
+      // The halo couples tiles, so a padded tail would convolve real data
+      // against fabricated zeros mid-frame; only exact fits are seamless.
+      return fail(error,
+                  "frame of " + std::to_string(frame_input) +
+                      " bytes does not tile exactly: a halo'd kernel needs " +
+                      std::to_string(spec.input_bytes) + " + k*" +
+                      std::to_string(stride) + " bytes");
+    }
+    if (spec.tile_unit_input_bytes == 0 ||
+        rem % spec.tile_unit_input_bytes != 0) {
+      return fail(error,
+                  "frame remainder of " + std::to_string(rem) +
+                      " bytes is not a whole number of " +
+                      std::to_string(spec.tile_unit_input_bytes) +
+                      "-byte units");
+    }
+    g.tail_units = rem / spec.tile_unit_input_bytes;
+    g.tail_valid_output = g.tail_units * spec.tile_unit_output_bytes;
+    g.tiles += 1;
+    g.frame_output_bytes += g.tail_valid_output;
+  }
+  return g;
+}
+
+TiledSubmission submit_tiled(BatchEngine& engine, const KernelJob& proto,
+                             const TileGeometry& geom,
+                             std::span<const uint8_t> input,
+                             std::span<uint8_t> output) {
+  TiledSubmission sub;
+  sub.geom = geom;
+  sub.futures.reserve(geom.tiles);
+
+  KernelJob job = proto;
+  for (size_t k = 0; k < geom.full_tiles; ++k) {
+    job.buffers.input =
+        input.subspan(k * geom.input_stride, geom.tile_input_bytes);
+    job.buffers.output =
+        output.empty()
+            ? std::span<uint8_t>{}
+            : output.subspan(k * geom.tile_output_bytes,
+                             geom.tile_output_bytes);
+    sub.futures.push_back(engine.submit(job));
+  }
+
+  if (geom.tail_units != 0) {
+    // A partial tail only exists for halo-free kernels, where the stride
+    // equals the tile size — the remainder starts right after the last
+    // full tile's input.
+    const size_t tail_off = geom.full_tiles * geom.input_stride;
+    sub.tail_input = std::make_unique<std::vector<uint8_t>>(
+        geom.tile_input_bytes, uint8_t{0});
+    const auto rem = input.subspan(tail_off);
+    std::copy(rem.begin(), rem.end(), sub.tail_input->begin());
+    job.buffers.input = *sub.tail_input;
+    job.buffers.output = {};
+    if (!output.empty()) {
+      sub.tail_output = std::make_unique<std::vector<uint8_t>>(
+          geom.tile_output_bytes, uint8_t{0});
+      job.buffers.output = *sub.tail_output;
+      sub.tail_dest = output.subspan(geom.full_tiles * geom.tile_output_bytes,
+                                     geom.tail_valid_output);
+    }
+    sub.futures.push_back(engine.submit(job));
+  }
+  return sub;
+}
+
+void JobResultAccumulator::add(JobResult&& r) {
+  ++jobs_;
+  if (r.cache_hit) ++cache_hits_;
+  if (r.worker >= 0) {
+    auto it = std::lower_bound(workers_.begin(), workers_.end(), r.worker);
+    if (it == workers_.end() || *it != r.worker) workers_.insert(it, r.worker);
+  }
+  if (jobs_ == 1) {
+    result_ = std::move(r);
+    return;
+  }
+  if (!r.ok && result_.ok) {
+    // First failed tile (in add order) wins the error fields.
+    result_.ok = false;
+    result_.kind = r.kind;
+    result_.error = std::move(r.error);
+  }
+  result_.run.stats += r.run.stats;  // keeps the cycle-poisoning rule
+  result_.run.verified = result_.run.verified && r.run.verified;
+  result_.run.spu.steps += r.run.spu.steps;
+  result_.run.spu.routed_operands += r.run.spu.routed_operands;
+  result_.run.spu.activations += r.run.spu.activations;
+  result_.run.spu.idles += r.run.spu.idles;
+  if (result_.run.orchestration == nullptr) {
+    result_.run.orchestration = std::move(r.run.orchestration);
+  }
+  result_.cache_hit = result_.cache_hit && r.cache_hit;
+  result_.prepare_ns += r.prepare_ns;
+  result_.execute_ns += r.execute_ns;
+  if (result_.worker != r.worker) result_.worker = -1;
+  if (result_.plan == nullptr) result_.plan = std::move(r.plan);
+}
+
+int JobResultAccumulator::workers_used() const {
+  return static_cast<int>(workers_.size());
+}
+
+TiledResult gather_tiled(TiledSubmission&& sub) {
+  JobResultAccumulator acc;
+  const size_t n = sub.futures.size();
+  for (size_t k = 0; k < n; ++k) {
+    JobResult r = sub.futures[k].get();
+    const bool is_tail = sub.geom.tail_units != 0 && k == n - 1;
+    if (is_tail && r.ok && r.run.verified && sub.tail_output != nullptr &&
+        !sub.tail_dest.empty()) {
+      // The runner only copies outputs back after verification; mirror
+      // that contract for the staged tail so a failed tile never
+      // overwrites caller memory.
+      std::copy_n(sub.tail_output->begin(), sub.tail_dest.size(),
+                  sub.tail_dest.begin());
+    }
+    acc.add(std::move(r));
+  }
+  TiledResult out;
+  out.jobs = acc.jobs();
+  out.cache_hits = acc.cache_hits();
+  out.workers_used = acc.workers_used();
+  out.result = std::move(acc).take();
+  return out;
+}
+
+}  // namespace subword::runtime

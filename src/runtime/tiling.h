@@ -1,0 +1,120 @@
+// tiling.h — scatter/gather frame tiling over the batch engine.
+//
+// One user request over a large frame becomes many independent KernelJobs:
+// the splitter cuts the bound input buffer into base-tile windows (per the
+// kernel's BufferSpec tile geometry — stride, halo, unit granularity),
+// fans them out through BatchEngine::submit, and the gather half
+// reassembles the outputs in tile order. This is the paper's fine-grain
+// orchestration question lifted to the job level: the expensive half (one
+// PreparedProgram) is shared by every tile through the orchestration
+// cache, and the cheap half (per-tile execution) is what actually spreads
+// across workers.
+//
+// Data-plane contract: every tile's input span aliases the caller's frame
+// (no copies) and every tile's output span aliases a disjoint window of
+// the caller's output buffer, so workers write their tiles concurrently
+// without coordination. The one exception is a partial tail tile: its
+// input is staged into a zero-padded full-tile buffer and its output into
+// a full-size scratch, from which gather_tiled copies back only the valid
+// prefix. Both stagings live inside the TiledSubmission, which must
+// therefore outlive every future it holds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/batch_engine.h"
+
+namespace subword::runtime {
+
+// The scatter geometry for one frame: how many jobs, where each reads and
+// writes, and how the trailing partial tile (if any) is handled.
+struct TileGeometry {
+  size_t tiles = 0;              // total jobs, including the padded tail
+  size_t full_tiles = 0;         // tiles fed directly from the frame
+  size_t tail_units = 0;         // valid units in the padded tail (0: none)
+  size_t input_stride = 0;       // frame bytes between tile starts
+  size_t tile_input_bytes = 0;   // == spec.input_bytes
+  size_t tile_output_bytes = 0;  // == spec.output_bytes
+  size_t frame_input_bytes = 0;
+  size_t frame_output_bytes = 0;  // gathered output size
+  size_t tail_valid_output = 0;   // bytes gathered from the tail tile
+};
+
+// Compute the tile geometry for a frame of `frame_input` bytes over
+// `spec`. Fails (nullopt, *error explains) when the spec is not tileable,
+// the frame is smaller than one base tile, a halo'd kernel's frame does
+// not tile exactly, or a remainder is not a whole number of units.
+[[nodiscard]] std::optional<TileGeometry> plan_tiles(
+    const kernels::BufferSpec& spec, size_t frame_input,
+    std::string* error = nullptr);
+
+// A tiled fan-out in flight. Move-only (futures); keep it alive until
+// gather_tiled consumes it — the tail stagings and the caller's spans are
+// referenced by jobs still executing.
+struct TiledSubmission {
+  TileGeometry geom;
+  std::vector<std::future<JobResult>> futures;  // tile order
+  // Tail-tile stagings (null when the frame tiles exactly).
+  std::unique_ptr<std::vector<uint8_t>> tail_input;
+  std::unique_ptr<std::vector<uint8_t>> tail_output;
+  std::span<uint8_t> tail_dest;  // where the valid tail prefix lands
+};
+
+// Scatter: fan `proto` out as one KernelJob per tile of `input`, each
+// binding its window of `input`/`output` (output may be empty: stats-only,
+// no readback). `proto`'s own buffer binding is ignored; every other knob
+// — kernel, repeats, mode, config, backend, planner fields — is shared by
+// all tiles, which is exactly why they share one cache entry and one
+// PreparedProgram. Preconditions: geom came from plan_tiles over the same
+// spec, input.size() == geom.frame_input_bytes, and output is empty or
+// exactly geom.frame_output_bytes.
+[[nodiscard]] TiledSubmission submit_tiled(BatchEngine& engine,
+                                           const KernelJob& proto,
+                                           const TileGeometry& geom,
+                                           std::span<const uint8_t> input,
+                                           std::span<uint8_t> output);
+
+// Order-preserving aggregation of many per-tile JobResults into one. The
+// sum keeps the cycle-poisoning rule: stats.has_cycles survives only if
+// every added result carried a cycle model. The first failed tile (in add
+// order) wins result.ok/kind/error; cache_hit is the conjunction.
+class JobResultAccumulator {
+ public:
+  void add(JobResult&& r);
+
+  [[nodiscard]] JobResult take() && { return std::move(result_); }
+  [[nodiscard]] const JobResult& peek() const { return result_; }
+  [[nodiscard]] size_t jobs() const { return jobs_; }
+  [[nodiscard]] size_t cache_hits() const { return cache_hits_; }
+  // Distinct engine workers that executed at least one of the jobs.
+  [[nodiscard]] int workers_used() const;
+  [[nodiscard]] bool all_ok() const { return result_.ok || jobs_ == 0; }
+
+ private:
+  JobResult result_;
+  size_t jobs_ = 0;
+  size_t cache_hits_ = 0;
+  std::vector<int> workers_;  // sorted-unique worker ids
+};
+
+// The gathered view of a finished fan-out.
+struct TiledResult {
+  JobResult result;       // aggregated (see JobResultAccumulator)
+  size_t jobs = 0;        // == geom.tiles
+  size_t cache_hits = 0;  // tiles whose preparation replayed the cache
+  int workers_used = 0;   // distinct workers across the fan-out
+};
+
+// Gather: wait for every tile in order, copy the tail tile's valid prefix
+// into place (only if that tile verified), and aggregate. Never throws;
+// per-tile failures surface through the aggregated JobResult.
+[[nodiscard]] TiledResult gather_tiled(TiledSubmission&& sub);
+
+}  // namespace subword::runtime
