@@ -1,11 +1,13 @@
 #include "backend/lowering.h"
 
 #include <array>
+#include <atomic>
 #include <map>
 #include <optional>
 #include <utility>
 
 #include "core/spu.h"
+#include "isa/disasm.h"
 #include "isa/opcodes.h"
 
 namespace subword::backend {
@@ -14,6 +16,8 @@ using isa::Inst;
 using isa::Op;
 
 namespace {
+
+std::atomic<bool> g_fault_injection{false};
 
 // Scalar register state during the walk. A register is either *concrete*
 // (the walker knows its value; control flow and addresses may depend on
@@ -49,13 +53,13 @@ class Walker {
   NativeTrace run() {
     uint64_t pc = 0;
     for (;;) {
+      cur_pc_ = pc;
       if (trace_.source_instructions >= spec_.max_ops) {
-        throw LoweringError("dynamic stream exceeds " +
-                            std::to_string(spec_.max_ops) +
-                            " instructions (max_ops)");
+        bail("dynamic stream exceeds " + std::to_string(spec_.max_ops) +
+             " instructions (max_ops)");
       }
       if (pc >= prog_.size()) {
-        throw LoweringError("pc ran off the program");
+        bail("pc ran off the program");
       }
       const Inst& in = prog_.at(pc);
       uint64_t next = pc + 1;
@@ -73,12 +77,23 @@ class Walker {
   }
 
  private:
+  // Every in-walk rejection funnels through here so the error carries the
+  // bail site: static op index, disassembly, crossbar config.
+  [[noreturn]] void bail(const std::string& what) const {
+    const std::string inst = cur_pc_ < prog_.size()
+                                 ? isa::disassemble(prog_.at(cur_pc_))
+                                 : std::string("<end of program>");
+    const std::string cfg =
+        spec_.cfg.name.empty() ? "-" : std::string(spec_.cfg.name);
+    throw LoweringError(what, static_cast<int64_t>(cur_pc_), inst, cfg);
+  }
+
   // -- scalar-plane helpers --------------------------------------------------
 
   [[nodiscard]] uint64_t concrete(uint8_t reg, const char* what) const {
     if (gp_[reg].deferred) {
-      throw LoweringError(std::string(what) + " depends on data (R" +
-                          std::to_string(reg) + ")");
+      bail(std::string(what) + " depends on data (R" + std::to_string(reg) +
+           ")");
     }
     return gp_[reg].val;
   }
@@ -109,8 +124,8 @@ class Walker {
   [[nodiscard]] uint32_t arena_addr(uint64_t addr, uint64_t len,
                                     const char* what) const {
     if (addr + len > mem_.size() || addr + len < addr) {
-      throw LoweringError(std::string(what) + ": address " +
-                          std::to_string(addr) + " outside the arena");
+      bail(std::string(what) + ": address " + std::to_string(addr) +
+           " outside the arena");
     }
     return static_cast<uint32_t>(addr);
   }
@@ -146,9 +161,8 @@ class Walker {
         const uint8_t u = r.sel[static_cast<size_t>(u_off + i)];
         const uint8_t v = r.sel[static_cast<size_t>(v_off + i)];
         if (u != v) {
-          throw LoweringError(
-              "route differs between the U and V pipe slices; the executing "
-              "pipe is a timing property the native backend does not model");
+          bail("route differs between the U and V pipe slices; the executing "
+               "pipe is a timing property the native backend does not model");
         }
         routed = routed || u != core::Route::kStraight;
       }
@@ -208,13 +222,18 @@ class Walker {
                                                 : 8;
     if (mem_.in_device_window(addr)) {
       if (len != 4) {
-        throw LoweringError("non-32-bit access inside the MMIO window");
+        bail("non-32-bit access inside the MMIO window");
       }
       // Controller state is modeled exactly, so an MMIO read folds to the
       // value the simulator would see at this point of the stream.
-      write_concrete(in.dst,
-                     static_cast<uint64_t>(static_cast<int64_t>(
-                         static_cast<int32_t>(mem_.read32(addr)))));
+      uint32_t v = 0;
+      try {
+        v = mem_.read32(addr);
+      } catch (const std::exception& e) {
+        bail(std::string("SPU register read rejected: ") + e.what());
+      }
+      write_concrete(in.dst, static_cast<uint64_t>(static_cast<int64_t>(
+                                 static_cast<int32_t>(v))));
       return;
     }
     const uint32_t a32 = arena_addr(addr, len, "scalar load");
@@ -247,12 +266,19 @@ class Walker {
                                                  : 8;
     if (mem_.in_device_window(addr)) {
       if (len != 4) {
-        throw LoweringError("non-32-bit access inside the MMIO window");
+        bail("non-32-bit access inside the MMIO window");
       }
       // Program the modeled controller; the store needs no replay — the
-      // backend resolves its effect (routes, GO, counters) right here.
-      mem_.write32(addr, static_cast<uint32_t>(
-                             concrete(in.src, "SPU programming (MMIO store)")));
+      // backend resolves its effect (routes, GO, counters) right here. The
+      // controller validates on GO, so an illegal microprogram surfaces as
+      // a typed rejection, never as an escaped logic_error.
+      const auto v = static_cast<uint32_t>(
+          concrete(in.src, "SPU programming (MMIO store)"));
+      try {
+        mem_.write32(addr, v);
+      } catch (const std::exception& e) {
+        bail(std::string("SPU programming rejected: ") + e.what());
+      }
       return;
     }
     const uint32_t a32 = arena_addr(addr, len, "scalar store");
@@ -294,8 +320,13 @@ class Walker {
         const uint64_t addr = addr_of(in, "movd load address");
         if (mem_.in_device_window(addr)) {
           // MMIO state is fully resolved during the walk; freeze the value.
-          append_set_imm(trace_, in.dst,
-                         static_cast<uint64_t>(mem_.read32(addr)));
+          uint32_t v = 0;
+          try {
+            v = mem_.read32(addr);
+          } catch (const std::exception& e) {
+            bail(std::string("SPU register read rejected: ") + e.what());
+          }
+          append_set_imm(trace_, in.dst, static_cast<uint64_t>(v));
           break;
         }
         append_load32(trace_, in.dst, arena_addr(addr, 4, "movd load"));
@@ -304,8 +335,8 @@ class Walker {
       case Op::MovdStore: {
         const uint64_t addr = addr_of(in, "movd store address");
         if (mem_.in_device_window(addr)) {
-          throw LoweringError("MMX store into the MMIO window is data-"
-                              "dependent SPU programming");
+          bail("MMX store into the MMIO window is data-dependent SPU "
+               "programming");
         }
         append_store32(trace_, in.src, arena_addr(addr, 4, "movd store"));
         mark_known(addr, 4, false);
@@ -329,7 +360,14 @@ class Walker {
         // Two-operand MMX data op, possibly crossbar-routed.
         uint8_t flags = 0;
         const int32_t route = resolve_route(&flags);
-        append_alu(trace_, in, route, flags);
+        Inst lowered = in;
+        if (in.op == Op::Paddsw &&
+            g_fault_injection.load(std::memory_order_relaxed)) {
+          // Test-only planted bug: saturating add lowered as wrapping add
+          // (see set_lowering_fault_injection in lowering.h).
+          lowered.op = Op::Paddw;
+        }
+        append_alu(trace_, lowered, route, flags);
         break;
       }
     }
@@ -432,12 +470,13 @@ class Walker {
         *halt = true;
         break;
       default:
-        throw LoweringError("unhandled scalar opcode");
+        bail("unhandled scalar opcode");
     }
   }
 
   const isa::Program& prog_;
   const LoweringSpec& spec_;
+  uint64_t cur_pc_ = 0;
   sim::Memory mem_;
   std::vector<bool> known_;
   std::array<GpSlot, isa::kNumGpRegs> gp_{};
@@ -453,6 +492,14 @@ NativeTrace lower(const isa::Program& program, const LoweringSpec& spec) {
   if (program.empty()) throw LoweringError("empty program");
   Walker w(program, spec);
   return w.run();
+}
+
+void set_lowering_fault_injection(bool enabled) {
+  g_fault_injection.store(enabled, std::memory_order_relaxed);
+}
+
+bool lowering_fault_injection() {
+  return g_fault_injection.load(std::memory_order_relaxed);
 }
 
 }  // namespace subword::backend

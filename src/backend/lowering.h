@@ -56,10 +56,36 @@ namespace subword::backend {
 // A program the native backend cannot execute (data-dependent control
 // flow, unsupported SPU usage, ...). The api:: facade maps this to
 // ErrorCode::kBackendUnsupported.
+//
+// Rejections raised while walking the program carry actionable context —
+// the static index of the offending instruction, its disassembly and the
+// crossbar configuration the walk ran under — so a fuzz report (or a log
+// line) identifies the exact bail site without re-running the lowering.
 class LoweringError : public std::runtime_error {
  public:
   explicit LoweringError(const std::string& what)
       : std::runtime_error("native lowering: " + what) {}
+  LoweringError(const std::string& what, int64_t op_index,
+                std::string instruction, std::string config)
+      : std::runtime_error(
+            "native lowering: " + what + " [op " + std::to_string(op_index) +
+            ": " + instruction + "; config " + config + "]"),
+        op_index_(op_index),
+        instruction_(std::move(instruction)),
+        config_(std::move(config)) {}
+
+  // Static instruction index of the bail site, -1 when the rejection
+  // happened outside the walk (spec validation, empty program).
+  [[nodiscard]] int64_t op_index() const { return op_index_; }
+  // Disassembly of the offending instruction (empty outside the walk).
+  [[nodiscard]] const std::string& instruction() const { return instruction_; }
+  // Crossbar configuration name the walk ran under (empty outside the walk).
+  [[nodiscard]] const std::string& config() const { return config_; }
+
+ private:
+  int64_t op_index_ = -1;
+  std::string instruction_;
+  std::string config_;
 };
 
 // Execution parameters of the program being lowered — the same fields a
@@ -92,5 +118,13 @@ struct LoweringSpec {
 // replayable (see above).
 [[nodiscard]] NativeTrace lower(const isa::Program& program,
                                 const LoweringSpec& spec);
+
+// Test-only fault injection: while enabled, the walker deliberately
+// mis-lowers Paddsw as wrapping Paddw. Exists solely so the fuzz
+// minimizer's divergence-shrinking loop has a reproducible lowering bug to
+// chase (tests/test_fuzz_differential.cpp, fuzz_driver --break-lowering);
+// never enable outside tests. Process-global, read at lower() time.
+void set_lowering_fault_injection(bool enabled);
+[[nodiscard]] bool lowering_fault_injection();
 
 }  // namespace subword::backend

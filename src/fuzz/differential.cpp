@@ -1,0 +1,236 @@
+#include "fuzz/differential.h"
+
+#include <array>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "backend/lowering.h"
+#include "backend/native.h"
+#include "core/mmio.h"
+#include "core/orchestrator.h"
+#include "core/spu.h"
+#include "isa/disasm.h"
+#include "sim/machine.h"
+
+namespace subword::fuzz {
+namespace {
+
+// Architectural outcome of one run: the full arena plus the MMX register
+// file. This is exactly the byte-identical-replay contract of native.h.
+struct Snapshot {
+  std::vector<uint8_t> arena;
+  std::array<uint64_t, isa::kNumMmxRegs> mmx{};
+};
+
+Snapshot snapshot(const sim::Memory& mem, const sim::MmxRegFile& regs,
+                  size_t mem_bytes) {
+  Snapshot s;
+  s.arena = mem.read_vector<uint8_t>(0, mem_bytes);
+  for (int i = 0; i < isa::kNumMmxRegs; ++i) {
+    s.mmx[static_cast<size_t>(i)] =
+        regs.read(static_cast<uint8_t>(i)).bits();
+  }
+  return s;
+}
+
+// First point of disagreement, or empty when identical. `regs` selects
+// whether the MMX register files take part: the native tier promises full
+// architectural identity with the simulator on the same program, while the
+// orchestrator's preservation contract covers the memory image only (a
+// deleted permutation's destination register legitimately goes stale).
+std::string compare(const Snapshot& ref, const Snapshot& got, bool regs) {
+  if (regs) {
+    for (int i = 0; i < isa::kNumMmxRegs; ++i) {
+      const auto idx = static_cast<size_t>(i);
+      if (ref.mmx[idx] != got.mmx[idx]) {
+        std::ostringstream os;
+        os << "mm" << i << ": reference 0x" << std::hex << ref.mmx[idx]
+           << ", got 0x" << got.mmx[idx];
+        return os.str();
+      }
+    }
+  }
+  if (ref.arena.size() != got.arena.size()) {
+    return "arena size mismatch";
+  }
+  for (size_t i = 0; i < ref.arena.size(); ++i) {
+    if (ref.arena[i] != got.arena[i]) {
+      std::ostringstream os;
+      os << "arena[0x" << std::hex << i << "]: reference 0x"
+         << static_cast<int>(ref.arena[i]) << ", got 0x"
+         << static_cast<int>(got.arena[i]);
+      return os.str();
+    }
+  }
+  return {};
+}
+
+// Simulator execution of `program` (the program's own SPU prologue drives
+// a manually attached Spu when `manual_spu` is set).
+Snapshot run_sim(const isa::Program& program, const FuzzProgram& fp,
+                 bool manual_spu, uint64_t max_cycles,
+                 const core::OrchestrationResult* orchestrated,
+                 const core::OrchestratorOptions* orch_opts) {
+  sim::PipelineConfig pcfg;
+  pcfg.max_cycles = max_cycles;
+  sim::Machine m(program, fp.mem_bytes, pcfg);
+
+  std::unique_ptr<core::Spu> spu;
+  std::unique_ptr<core::SpuMmio> mmio;
+  core::AttachedSpu attached;
+  if (orchestrated != nullptr) {
+    attached = core::attach_spu(m, *orchestrated, *orch_opts);
+  } else if (manual_spu) {
+    spu = std::make_unique<core::Spu>(fp.cfg, fp.num_contexts);
+    mmio = std::make_unique<core::SpuMmio>(spu.get());
+    m.memory().map_device(fp.mmio_base, core::SpuMmio::kWindowSize,
+                          mmio.get());
+    m.set_router(spu.get());
+  }
+  fp.init_arena(m.memory());
+  m.run();
+  return snapshot(m.memory(), m.mmx(), fp.mem_bytes);
+}
+
+// Native-SWAR execution: lower, then replay against a fresh arena.
+// Throws backend::LoweringError for programs the tier legitimately
+// refuses.
+Snapshot run_native(const isa::Program& program, const FuzzProgram& fp,
+                    const core::CrossbarConfig& cfg, bool use_spu,
+                    int num_contexts, uint64_t max_ops) {
+  backend::LoweringSpec spec;
+  spec.cfg = cfg;
+  spec.use_spu = use_spu;
+  spec.num_contexts = num_contexts;
+  spec.mmio_base = fp.mmio_base;
+  spec.mem_bytes = fp.mem_bytes;
+  spec.max_ops = max_ops;
+  spec.init = [&fp](sim::Memory& mem) { fp.init_arena(mem); };
+  spec.data_regions.push_back({fp.input.addr, fp.input.len});
+
+  const backend::NativeTrace trace = backend::lower(program, spec);
+
+  sim::Memory mem(fp.mem_bytes);
+  fp.init_arena(mem);
+  backend::NativeState st;
+  st.mem = &mem;
+  backend::run_trace(trace, st);
+  return snapshot(mem, st.regs, fp.mem_bytes);
+}
+
+// Run one cell of the matrix, compare it against `ref`, and classify the
+// outcome. Returns the snapshot when the run completed (so a later cell can
+// compare against it). `regs` as in compare().
+std::optional<Snapshot> record_outcome(DiffResult& out, const Snapshot& ref,
+                                       const RunLabel& label, bool regs,
+                                       const std::function<Snapshot()>& run) {
+  ++out.runs;
+  try {
+    Snapshot got = run();
+    const std::string diff = compare(ref, got, regs);
+    if (!diff.empty()) {
+      out.divergences.push_back({label, diff});
+    }
+    return got;
+  } catch (const backend::LoweringError& e) {
+    out.rejections.push_back(
+        {label, e.what(), e.op_index(), e.instruction()});
+  } catch (const std::logic_error& e) {
+    // Orchestrator / SPU-validation refusals are typed and acceptable.
+    out.rejections.push_back({label, e.what(), -1, {}});
+  } catch (const std::exception& e) {
+    out.divergences.push_back(
+        {label, std::string("untyped failure: ") + e.what()});
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string to_string(const RunLabel& label) {
+  std::string s = label.mode == Mode::kAuto ? "auto" : "baseline";
+  s += label.backend == Backend::kNative ? "/native" : "/sim";
+  if (!label.config.empty()) s += "/" + label.config;
+  return s;
+}
+
+DiffResult run_differential(const FuzzProgram& fp, const DiffOptions& opts) {
+  DiffResult out;
+
+  // Reference: the simulator running the program exactly as generated.
+  Snapshot ref;
+  try {
+    ref = run_sim(fp.program, fp, fp.use_spu, opts.sim_max_cycles, nullptr,
+                  nullptr);
+    out.reference_ok = true;
+  } catch (const std::exception& e) {
+    out.reference_error = e.what();
+    return out;
+  }
+
+  // Native tier under the program's own configuration: full architectural
+  // identity with the reference (native.h's byte-identical-replay claim).
+  record_outcome(out, ref,
+                 {Mode::kBaseline, Backend::kNative,
+                  std::string(fp.cfg.name)},
+                 /*regs=*/true, [&] {
+                   return run_native(fp.program, fp, fp.cfg, fp.use_spu,
+                                     fp.num_contexts, opts.lower_max_ops);
+                 });
+
+  // Orchestrated runs: the transformed program must preserve the original's
+  // architectural results under every configuration, on both tiers.
+  // Programs carrying their own SPU prologue are skipped (they use the
+  // reserved R14/R15 themselves and the orchestrator rejects them).
+  if (!fp.use_spu) {
+    for (const auto& cfg : opts.auto_configs) {
+      core::OrchestratorOptions oo;
+      oo.config = cfg;
+      oo.mmio_base = fp.mmio_base;
+      core::Orchestrator orch(oo);
+
+      core::OrchestrationResult result;
+      try {
+        result = orch.run(fp.program);
+      } catch (const std::logic_error& e) {
+        Rejection rej;
+        rej.label = {Mode::kAuto, Backend::kSim, std::string(cfg.name)};
+        rej.reason = e.what();
+        out.rejections.push_back(std::move(rej));
+        continue;
+      }
+
+      // The orchestrator preserves the memory image (a deleted
+      // permutation's destination register legitimately goes stale), so
+      // the transformed program's sim run compares arena-only against the
+      // reference. The native lowering of that same transformed program,
+      // however, must match its sim run *exactly* — that pair exercises
+      // native.h's contract on SPU-routed programs.
+      const auto auto_sim = record_outcome(
+          out, ref, {Mode::kAuto, Backend::kSim, std::string(cfg.name)},
+          /*regs=*/false, [&] {
+            return run_sim(result.program, fp, false, opts.sim_max_cycles,
+                           &result, &oo);
+          });
+      if (auto_sim.has_value()) {
+        record_outcome(
+            out, *auto_sim,
+            {Mode::kAuto, Backend::kNative, std::string(cfg.name)},
+            /*regs=*/true, [&] {
+              return run_native(result.program, fp, cfg, true,
+                                oo.max_contexts, opts.lower_max_ops);
+            });
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace subword::fuzz

@@ -1,0 +1,89 @@
+// differential.h — the sim-vs-native differential execution oracle.
+//
+// One generated program is executed through every meaningful point of the
+// backend × orchestration matrix:
+//
+//   reference      sim, baseline (the program exactly as generated)
+//   native         native-SWAR lowering of the same program under its own
+//                  crossbar configuration
+//   auto × config  orchestrator-transformed program under each crossbar
+//                  configuration, on both the simulator and the native tier
+//                  (skipped for programs carrying their own SPU prologue —
+//                  the orchestrator owns R14/R15)
+//
+// Each comparison checks the precise contract of the layer under test:
+// native runs must match the simulator *exactly* (memory arena and MMX
+// register file — native.h's byte-identical-replay claim) on the same
+// program; orchestrated programs must preserve the reference's memory
+// image (a deleted permutation's destination register legitimately goes
+// stale — the regfile is excluded from that comparison, exactly as the
+// orchestrator's own verification tests do). A run may instead reject the
+// program with a *typed* error (backend::LoweringError, std::logic_error
+// from orchestration/SPU validation). Anything else — a mismatch, a crash,
+// an untyped exception — is a Divergence, the thing the fuzzer exists to
+// find.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/crossbar.h"
+#include "fuzz/generator.h"
+
+namespace subword::fuzz {
+
+enum class Mode : uint8_t { kBaseline, kAuto };
+enum class Backend : uint8_t { kSim, kNative };
+
+// Which cell of the execution matrix a record refers to.
+struct RunLabel {
+  Mode mode = Mode::kBaseline;
+  Backend backend = Backend::kSim;
+  std::string config;  // crossbar configuration name ("A".."D")
+};
+
+[[nodiscard]] std::string to_string(const RunLabel& label);
+
+// A run that disagreed with the reference (or died on an untyped error).
+struct Divergence {
+  RunLabel label;
+  std::string detail;  // first mismatching byte / register, or the error
+};
+
+// A typed, well-formed refusal to run the program — an acceptable outcome
+// (the native tier is allowed to be partial), recorded so the harness can
+// tell explained rejections from silent coverage loss.
+struct Rejection {
+  RunLabel label;
+  std::string reason;
+  int64_t op_index = -1;    // LoweringError context, when present
+  std::string instruction;  // disassembled bail site, when present
+};
+
+struct DiffOptions {
+  // Crossbar configurations the auto (orchestrated) runs sweep.
+  std::vector<core::CrossbarConfig> auto_configs{core::kAllConfigs.begin(),
+                                                 core::kAllConfigs.end()};
+  uint64_t sim_max_cycles = 1ull << 22;  // candidate-program runaway guard
+  uint64_t lower_max_ops = 1ull << 20;
+};
+
+struct DiffResult {
+  // True when the reference run itself completed. When false the program
+  // is ill-formed (minimizer candidates routinely are) and the divergence
+  // list is meaningless.
+  bool reference_ok = false;
+  std::string reference_error;
+
+  std::vector<Divergence> divergences;
+  std::vector<Rejection> rejections;
+  int runs = 0;  // executions compared against the reference
+
+  [[nodiscard]] bool ok() const { return reference_ok && divergences.empty(); }
+};
+
+[[nodiscard]] DiffResult run_differential(const FuzzProgram& fp,
+                                          const DiffOptions& opts = {});
+
+}  // namespace subword::fuzz

@@ -1,0 +1,435 @@
+#include "fuzz/generator.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/micro_builder.h"
+#include "core/setup.h"
+#include "isa/assembler.h"
+#include "isa/inst.h"
+
+namespace subword::fuzz {
+namespace {
+
+using isa::Assembler;
+using isa::Op;
+
+// Deterministic PRNG facade. Deliberately avoids <random> distributions:
+// their output is implementation-defined, and a corpus entry must mean the
+// same program on every toolchain. splitmix64 is fully specified.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform-ish int in [0, n). Modulo bias is irrelevant here.
+  int below(int n) { return static_cast<int>(next() % static_cast<uint64_t>(n)); }
+
+  bool chance(double p) {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Register discipline (what keeps every generated program lowerable unless
+// we *intend* a rejection):
+//   R2 input base, R3 output base, R4 scratch base — fed only by Li/SAddi
+//   with generator-chosen constants, so addresses always fold.
+//   R0/R1 loop counters — fed only by Li, consumed only by Loopnz.
+//   R5..R8 data scalars — may become data-dependent (MovdFromMmx, input
+//   loads); used only in arithmetic and stores, never addresses/branches.
+//   R14/R15 untouched except by the SPU prologue of use_spu programs.
+constexpr uint8_t kInBase = isa::R2;
+constexpr uint8_t kOutBase = isa::R3;
+constexpr uint8_t kScratchBase = isa::R4;
+constexpr std::array<uint8_t, 4> kDataRegs{isa::R5, isa::R6, isa::R7,
+                                           isa::R8};
+
+constexpr uint64_t kInputAddr = 0x1000;
+constexpr uint64_t kOutputAddr = 0x2000;
+constexpr uint64_t kScratchAddr = 0x3000;
+constexpr size_t kRegionLen = 0x400;
+
+// Two-operand MMX data ops eligible for random emission (and, in SPU
+// programs, for crossbar-routed operand fetches).
+constexpr std::array<Op, 26> kAluOps{
+    Op::Paddb,   Op::Paddw,   Op::Paddd,   Op::Psubb,   Op::Psubw,
+    Op::Psubd,   Op::Paddsb,  Op::Paddsw,  Op::Paddusb, Op::Paddusw,
+    Op::Psubsb,  Op::Psubsw,  Op::Psubusb, Op::Psubusw, Op::Pmullw,
+    Op::Pmulhw,  Op::Pmaddwd, Op::Pcmpeqb, Op::Pcmpeqw, Op::Pcmpeqd,
+    Op::Pcmpgtb, Op::Pcmpgtw, Op::Pcmpgtd, Op::Pand,    Op::Pandn,
+    Op::Por};
+
+constexpr std::array<Op, 9> kPermOps{
+    Op::Packsswb,  Op::Packssdw,  Op::Packuswb,
+    Op::Punpcklbw, Op::Punpcklwd, Op::Punpckldq,
+    Op::Punpckhbw, Op::Punpckhwd, Op::Punpckhdq};
+
+constexpr std::array<Op, 8> kShiftOps{Op::Psllw, Op::Pslld, Op::Psllq,
+                                      Op::Psrlw, Op::Psrld, Op::Psrlq,
+                                      Op::Psraw, Op::Psrad};
+
+// Per-base displacement headroom: inside a loop the base advances by
+// stride bytes per trip, so in-bounds-for-all-trips shrinks the usable
+// displacement range.
+struct Bounds {
+  int32_t in_max;  // largest 8-byte-aligned disp for an 8-byte access
+  int32_t out_max;
+  int32_t scratch_max;
+
+  [[nodiscard]] int32_t max_for(uint8_t base) const {
+    if (base == kInBase) return in_max;
+    if (base == kOutBase) return out_max;
+    return scratch_max;
+  }
+};
+
+constexpr Bounds kStraightBounds{kRegionLen - 8, kRegionLen - 8,
+                                 kRegionLen - 8};
+
+int32_t aligned_disp(Rng& rng, int32_t max_disp, int align) {
+  const int slots = max_disp / align + 1;
+  return static_cast<int32_t>(rng.below(slots)) * align;
+}
+
+void emit_inst(Assembler& a, Op op, uint8_t dst, uint8_t src) {
+  isa::Inst in;
+  in.op = op;
+  in.dst = dst;
+  in.src = src;
+  a.emit(in);
+}
+
+void emit_shift_imm(Assembler& a, Op op, uint8_t dst, uint8_t count) {
+  isa::Inst in;
+  in.op = op;
+  in.dst = dst;
+  in.src_is_imm = true;
+  in.imm8 = count;
+  a.emit(in);
+}
+
+uint8_t rand_mm(Rng& rng) { return static_cast<uint8_t>(rng.below(8)); }
+uint8_t rand_data_reg(Rng& rng) {
+  return kDataRegs[static_cast<size_t>(rng.below(4))];
+}
+
+// Emit one random instruction under the register discipline. `bounds`
+// gives the base-relative displacement headroom; `allow_mmx_bridge`
+// enables the MovdFromMmx path that makes scalars data-dependent.
+void emit_random_op(Assembler& a, Rng& rng, const Bounds& bounds,
+                    bool allow_mmx_bridge) {
+  const int kind = rng.below(20);
+  switch (kind) {
+    case 0: case 1: case 2:  // movq load (input or scratch)
+    {
+      const uint8_t base = rng.chance(0.6) ? kInBase : kScratchBase;
+      a.movq_load(rand_mm(rng), base, aligned_disp(rng, bounds.max_for(base), 8));
+      break;
+    }
+    case 3: case 4:  // movq store to output
+      a.movq_store(kOutBase, aligned_disp(rng, bounds.out_max, 8),
+                   rand_mm(rng));
+      break;
+    case 5:  // movd load / store
+      if (rng.chance(0.5)) {
+        const uint8_t base = rng.chance(0.6) ? kInBase : kScratchBase;
+        a.movd_load(rand_mm(rng), base,
+                    aligned_disp(rng, bounds.max_for(base), 4));
+      } else {
+        a.movd_store(kOutBase, aligned_disp(rng, bounds.out_max, 4),
+                     rand_mm(rng));
+      }
+      break;
+    case 6: case 7: case 8: case 9: case 10: case 11:  // packed ALU
+      emit_inst(a, kAluOps[static_cast<size_t>(rng.below(kAluOps.size()))],
+                rand_mm(rng), rand_mm(rng));
+      break;
+    case 12:  // pxor (common zeroing idiom, kept frequent)
+      emit_inst(a, Op::Pxor, rand_mm(rng), rand_mm(rng));
+      break;
+    case 13: case 14:  // pack / unpack
+      emit_inst(a, kPermOps[static_cast<size_t>(rng.below(kPermOps.size()))],
+                rand_mm(rng), rand_mm(rng));
+      break;
+    case 15:  // shift by immediate
+      emit_shift_imm(a,
+                     kShiftOps[static_cast<size_t>(rng.below(kShiftOps.size()))],
+                     rand_mm(rng), static_cast<uint8_t>(rng.below(17)));
+      break;
+    case 16:  // register copy
+      a.movq(rand_mm(rng), rand_mm(rng));
+      break;
+    case 17:  // scalar constant pipeline: load coefficients / immediates
+      if (rng.chance(0.5)) {
+        a.ld32(rand_data_reg(rng), kScratchBase,
+               aligned_disp(rng, bounds.scratch_max, 4));
+      } else {
+        a.li(rand_data_reg(rng), static_cast<int32_t>(rng.below(1 << 16)));
+      }
+      break;
+    case 18:  // scalar arithmetic over data regs
+      switch (rng.below(6)) {
+        case 0: a.sadd(rand_data_reg(rng), rand_data_reg(rng)); break;
+        case 1: a.ssub(rand_data_reg(rng), rand_data_reg(rng)); break;
+        case 2: a.sxor(rand_data_reg(rng), rand_data_reg(rng)); break;
+        case 3: a.smul(rand_data_reg(rng), rand_data_reg(rng)); break;
+        case 4: a.saddi(rand_data_reg(rng),
+                        static_cast<int32_t>(rng.below(256))); break;
+        default: a.sshri(rand_data_reg(rng),
+                         static_cast<uint8_t>(rng.below(16))); break;
+      }
+      break;
+    default:  // 19: the MMX<->scalar bridges and scalar stores
+      if (allow_mmx_bridge && rng.chance(0.5)) {
+        if (rng.chance(0.5)) {
+          a.movd_from_mmx(rand_data_reg(rng), rand_mm(rng));
+        } else {
+          a.movd_to_mmx(rand_mm(rng), rand_data_reg(rng));
+        }
+      } else {
+        a.st32(kOutBase, aligned_disp(rng, bounds.out_max, 4),
+               rand_data_reg(rng));
+      }
+      break;
+  }
+}
+
+void emit_bases(Assembler& a) {
+  a.li(kInBase, static_cast<int32_t>(kInputAddr));
+  a.li(kOutBase, static_cast<int32_t>(kOutputAddr));
+  a.li(kScratchBase, static_cast<int32_t>(kScratchAddr));
+}
+
+// A plain (non-SPU) bounded loop segment: li counter; body; base advances;
+// loopnz. Bases are re-materialized afterwards so later segments see the
+// region starts again.
+void emit_loop_segment(Assembler& a, Rng& rng, int loop_index, int max_trip,
+                       bool allow_mmx_bridge) {
+  const uint8_t counter = (loop_index % 2 == 0) ? isa::R0 : isa::R1;
+  const int trips = 1 + rng.below(max_trip);
+  const int32_t in_stride = 8 * rng.below(3);    // 0, 8, 16
+  const int32_t out_stride = 8 * rng.below(3);
+  const Bounds bounds{
+      static_cast<int32_t>(kRegionLen) - 8 - in_stride * (trips - 1),
+      static_cast<int32_t>(kRegionLen) - 8 - out_stride * (trips - 1),
+      static_cast<int32_t>(kRegionLen) - 8};
+  const std::string head = "loop" + std::to_string(loop_index);
+
+  a.li(counter, trips);
+  a.label(head);
+  const int body_ops = 2 + rng.below(6);
+  for (int i = 0; i < body_ops; ++i) {
+    emit_random_op(a, rng, bounds, allow_mmx_bridge);
+  }
+  if (in_stride != 0) a.saddi(kInBase, in_stride);
+  if (out_stride != 0) a.saddi(kOutBase, out_stride);
+  a.loopnz(counter, head);
+  emit_bases(a);
+}
+
+// Random crossbar route for one operand fetch, valid under `cfg`:
+// 8-bit-port configurations route individual bytes anywhere in the input
+// window; 16-bit-port configurations route aligned half-word pairs.
+core::Route random_route(Rng& rng, const core::CrossbarConfig& cfg) {
+  std::array<uint8_t, core::kOperandBytes> srcs{};
+  if (cfg.port_bits == 8) {
+    for (auto& s : srcs) {
+      s = rng.chance(0.25)
+              ? core::Route::kStraight
+              : static_cast<uint8_t>(rng.below(cfg.input_bytes()));
+    }
+  } else {
+    for (int h = 0; h < core::kOperandBytes / 2; ++h) {
+      if (rng.chance(0.25)) {
+        srcs[static_cast<size_t>(2 * h)] = core::Route::kStraight;
+        srcs[static_cast<size_t>(2 * h + 1)] = core::Route::kStraight;
+      } else {
+        const int src_half = rng.below(cfg.input_ports);
+        srcs[static_cast<size_t>(2 * h)] = static_cast<uint8_t>(2 * src_half);
+        srcs[static_cast<size_t>(2 * h + 1)] =
+            static_cast<uint8_t>(2 * src_half + 1);
+      }
+    }
+  }
+  core::Route r;
+  // Route both pipes identically: the executing pipe is a timing property,
+  // and the native lowering rejects U/V-asymmetric routes by design.
+  r.set_operand_both_pipes(rng.below(2), srcs);
+  return r;
+}
+
+// A hand-programmed SPU loop in the paper's Figure 7 shape: MMIO prologue,
+// one microprogram state per loop-body instruction (loopnz included),
+// GO immediately before the loop head. Routed states sit only on
+// two-operand ALU positions, mirroring what the orchestrator emits.
+void emit_spu_segment(Assembler& a, core::MicroBuilder& mb, Rng& rng,
+                      const core::CrossbarConfig& cfg, uint64_t mmio_base,
+                      int max_trip) {
+  const int trips = 1 + rng.below(max_trip);
+  const int32_t stride = 8;
+  const int alu_count = 1 + rng.below(3);
+
+  // Body plan first (the microprogram must know every position's kind).
+  struct BodyOp {
+    enum Kind { kLoadIn, kLoadScratch, kAlu, kStore, kAdvanceIn, kAdvanceOut,
+                kLoop } kind;
+    Op op = Op::Nop;
+    uint8_t dst = 0, src = 0;
+    int32_t disp = 0;
+    bool routed = false;
+  };
+  std::vector<BodyOp> body;
+  const int32_t max_disp =
+      static_cast<int32_t>(kRegionLen) - 8 - stride * (trips - 1);
+  body.push_back({BodyOp::kLoadIn, Op::MovqLoad, 0, 0,
+                  aligned_disp(rng, max_disp, 8), false});
+  body.push_back({BodyOp::kLoadScratch, Op::MovqLoad, 1, 0,
+                  aligned_disp(rng, static_cast<int32_t>(kRegionLen) - 8, 8),
+                  false});
+  for (int i = 0; i < alu_count; ++i) {
+    BodyOp op{BodyOp::kAlu,
+              kAluOps[static_cast<size_t>(rng.below(kAluOps.size()))],
+              static_cast<uint8_t>(rng.below(4)),
+              static_cast<uint8_t>(rng.below(4)), 0, rng.chance(0.8)};
+    body.push_back(op);
+  }
+  body.push_back({BodyOp::kStore, Op::MovqStore, 0,
+                  static_cast<uint8_t>(rng.below(4)),
+                  aligned_disp(rng, max_disp, 8), false});
+  body.push_back({BodyOp::kAdvanceIn, Op::SAddi, 0, 0, stride, false});
+  body.push_back({BodyOp::kAdvanceOut, Op::SAddi, 0, 0, stride, false});
+  body.push_back({BodyOp::kLoop, Op::Loopnz, 0, 0, 0, false});
+
+  // Microprogram: one state per body position.
+  for (const auto& op : body) {
+    if (op.kind == BodyOp::kAlu && op.routed) {
+      mb.add_state(random_route(rng, cfg));
+    } else {
+      mb.add_straight_state();
+    }
+  }
+  mb.seal_simple_loop(static_cast<uint32_t>(trips));
+
+  // Programming prologue (context 0), bases, counter, GO, loop.
+  core::emit_spu_base(a, mmio_base);
+  core::emit_spu_stop(a, 0);
+  core::emit_spu_words(a, mb.mmio_words());
+  emit_bases(a);
+  a.li(isa::R0, trips);
+  core::emit_spu_go(a, 0);
+  a.label("spu_loop");
+  for (const auto& op : body) {
+    switch (op.kind) {
+      case BodyOp::kLoadIn:
+        a.movq_load(op.dst, kInBase, op.disp);
+        break;
+      case BodyOp::kLoadScratch:
+        a.movq_load(op.dst, kScratchBase, op.disp);
+        break;
+      case BodyOp::kAlu:
+        emit_inst(a, op.op, op.dst, op.src);
+        break;
+      case BodyOp::kStore:
+        a.movq_store(kOutBase, op.disp, op.src);
+        break;
+      case BodyOp::kAdvanceIn:
+        a.saddi(kInBase, op.disp);
+        break;
+      case BodyOp::kAdvanceOut:
+        a.saddi(kOutBase, op.disp);
+        break;
+      case BodyOp::kLoop:
+        a.loopnz(isa::R0, "spu_loop");
+        break;
+    }
+  }
+  emit_bases(a);
+}
+
+// Plant a data-dependent branch: well-formed for the simulator (both paths
+// reach the same join), unlowerable by design for the native tier.
+void emit_reject_plant(Assembler& a, Rng& rng) {
+  a.movq_load(isa::MM6, kInBase, 0);
+  const uint8_t reg = rand_data_reg(rng);
+  a.movd_from_mmx(reg, isa::MM6);
+  a.jnz(reg, "reject_join");
+  a.paddw(isa::MM6, isa::MM6);
+  a.label("reject_join");
+  a.movq_store(kOutBase, static_cast<int32_t>(kRegionLen) - 8, isa::MM6);
+}
+
+}  // namespace
+
+void FuzzProgram::init_arena(sim::Memory& mem) const {
+  mem.clear();
+  // Scratch coefficients: deterministic in the seed (they constant-fold).
+  uint64_t x = seed ^ 0xc0ffee123456789ull;
+  for (size_t i = 0; i < scratch.len; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    mem.write8(scratch.addr + i, static_cast<uint8_t>(x >> 33));
+  }
+  for (size_t i = 0; i < input_bytes.size() && i < input.len; ++i) {
+    mem.write8(input.addr + i, input_bytes[i]);
+  }
+}
+
+FuzzProgram generate(const GeneratorOptions& opts) {
+  Rng rng(opts.seed);
+  FuzzProgram fp;
+  fp.seed = opts.seed;
+  fp.cfg = opts.cfg;
+  fp.mem_bytes = opts.mem_bytes;
+  fp.input = {kInputAddr, kRegionLen};
+  fp.output = {kOutputAddr, kRegionLen};
+  fp.scratch = {kScratchAddr, kRegionLen};
+  fp.use_spu = rng.chance(opts.spu_rate);
+  fp.expects_reject = !fp.use_spu && rng.chance(opts.reject_rate);
+
+  Assembler a;
+  if (fp.use_spu) {
+    core::MicroBuilder mb(opts.cfg);
+    emit_spu_segment(a, mb, rng, opts.cfg, fp.mmio_base, opts.max_trip);
+    // A straight tail keeps SPU programs from being loop-only.
+    const int tail = rng.below(1 + opts.max_straight_ops / 2);
+    for (int i = 0; i < tail; ++i) {
+      emit_random_op(a, rng, kStraightBounds, /*allow_mmx_bridge=*/true);
+    }
+  } else {
+    emit_bases(a);
+    const bool bridge = rng.chance(opts.defer_rate);
+    const int loops = rng.below(opts.max_loops + 1);
+    const int straight = 1 + rng.below(opts.max_straight_ops);
+    for (int i = 0; i < straight; ++i) {
+      emit_random_op(a, rng, kStraightBounds, bridge);
+    }
+    for (int l = 0; l < loops; ++l) {
+      emit_loop_segment(a, rng, l, opts.max_trip, bridge);
+      const int mid = rng.below(1 + opts.max_straight_ops / 2);
+      for (int i = 0; i < mid; ++i) {
+        emit_random_op(a, rng, kStraightBounds, bridge);
+      }
+    }
+    if (fp.expects_reject) emit_reject_plant(a, rng);
+  }
+  a.halt();
+  fp.program = a.take();
+
+  fp.input_bytes.resize(fp.input.len);
+  for (auto& b : fp.input_bytes) {
+    b = static_cast<uint8_t>(rng.next());
+  }
+  return fp;
+}
+
+}  // namespace subword::fuzz

@@ -1,0 +1,87 @@
+// generator.h — seeded, reproducible random ISA programs shaped like the
+// media workloads.
+//
+// The generator is the adversarial half of the trust layer: it emits
+// programs the registry kernels never hand-shaped — arbitrary instruction
+// mixes over the MMX subset, bounded-trip inner loops (≤8 trips, so the
+// local-history predictor still sees media-like branches), U/V-pipe-
+// symmetric crossbar routes programmed through the ordinary MMIO prologue,
+// data-dependent scalar segments that exercise the lowering walker's defer
+// machinery, and bound input/output buffer regions — while guaranteeing the
+// structural well-formedness the differential harness needs: every program
+// halts, every access stays inside its region across all loop trips, loop
+// counters are concrete, and the reserved SPU setup registers R14/R15 are
+// untouched (so the orchestrator may be applied).
+//
+// Everything is a pure function of the seed: the instruction stream, the
+// microprogram routes, and the per-execution input payload all derive from
+// one mt19937_64, which is what makes a corpus entry a single integer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/crossbar.h"
+#include "core/mmio.h"
+#include "isa/program.h"
+#include "sim/memory.h"
+
+namespace subword::fuzz {
+
+struct Region {
+  uint64_t addr = 0;
+  size_t len = 0;
+};
+
+struct GeneratorOptions {
+  uint64_t seed = 1;
+  // Straight-line MMX ops budget outside loops (loops add their own).
+  int max_straight_ops = 16;
+  int max_loops = 2;  // loop segments (one level of nesting max)
+  int max_trip = 8;   // media-like bounded inner loops
+  // Probability a program carries a hand-programmed SPU microprogram with
+  // crossbar-routed operands (via the MMIO prologue).
+  double spu_rate = 0.3;
+  // Probability of a data-dependent scalar segment (MovdFromMmx → GP
+  // arithmetic → store), the lowering walker's defer path.
+  double defer_rate = 0.5;
+  // Probability of planting a data-dependent branch: the program stays
+  // well-formed for the simulator but the native tier must reject it with
+  // a typed LoweringError (the well-formed-rejection corpus).
+  double reject_rate = 0.0;
+  core::CrossbarConfig cfg = core::kConfigA;
+  size_t mem_bytes = 1u << 16;
+};
+
+// A generated program plus everything needed to execute and replay it.
+struct FuzzProgram {
+  isa::Program program;
+  core::CrossbarConfig cfg{};
+  uint64_t seed = 0;
+  size_t mem_bytes = 1u << 16;
+  // Set when the program carries its own SPU MMIO prologue (manual
+  // microprogram). Such programs are never auto-orchestrated on top.
+  bool use_spu = false;
+  int num_contexts = 1;
+  uint64_t mmio_base = core::SpuMmio::kDefaultBase;
+  // The generator planted a data-dependent branch: the native tier is
+  // expected to bail with a typed LoweringError.
+  bool expects_reject = false;
+
+  Region input;    // per-execution caller data (the lowering data region)
+  Region output;   // where results land
+  Region scratch;  // deterministic init; loads from here constant-fold
+  std::vector<uint8_t> input_bytes;  // this corpus entry's input payload
+
+  // Deterministic arena initialisation shared by every executor: scratch
+  // coefficients derived from the seed, the input payload, zeroed output.
+  // Matches the LoweringSpec::init / data_regions contract.
+  void init_arena(sim::Memory& mem) const;
+};
+
+// Generate one program. Deterministic in opts (same options -> same
+// program, instruction for instruction).
+[[nodiscard]] FuzzProgram generate(const GeneratorOptions& opts);
+
+}  // namespace subword::fuzz

@@ -1,0 +1,286 @@
+#include "fuzz/minimizer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "isa/disasm.h"
+#include "isa/parse.h"
+
+namespace subword::fuzz {
+namespace {
+
+// Rebuild a program with the instruction range [begin, end) removed,
+// retargeting every surviving branch. Returns nullopt when a surviving
+// branch targets into the removed range (the cut would orphan it).
+std::optional<isa::Program> remove_range(const isa::Program& p, size_t begin,
+                                         size_t end) {
+  const auto& insts = p.insts();
+  std::vector<int32_t> new_index(insts.size(), -1);
+  int32_t next = 0;
+  for (size_t i = 0; i < insts.size(); ++i) {
+    if (i < begin || i >= end) new_index[i] = next++;
+  }
+
+  std::vector<isa::Inst> out;
+  out.reserve(insts.size() - (end - begin));
+  for (size_t i = 0; i < insts.size(); ++i) {
+    if (i >= begin && i < end) continue;
+    isa::Inst in = insts[i];
+    if (isa::is_branch_op(in.op)) {
+      const auto t = static_cast<size_t>(in.target);
+      if (t >= insts.size() || new_index[t] < 0) return std::nullopt;
+      in.target = new_index[t];
+    }
+    out.push_back(in);
+  }
+
+  std::unordered_map<std::string, int32_t> labels;
+  for (const auto& [name, idx] : p.labels()) {
+    const auto i = static_cast<size_t>(idx);
+    if (i < new_index.size() && new_index[i] >= 0) {
+      labels.emplace(name, new_index[i]);
+    }
+  }
+  return isa::Program(std::move(out), std::move(labels));
+}
+
+FuzzProgram with_program(const FuzzProgram& fp, isa::Program p) {
+  FuzzProgram out = fp;
+  out.program = std::move(p);
+  return out;
+}
+
+bool check(const Oracle& oracle, const FuzzProgram& candidate,
+           MinimizeStats& stats) {
+  ++stats.oracle_calls;
+  return oracle(candidate);
+}
+
+// One ddmin sweep at the given chunk size; returns true when any cut was
+// accepted. The final instruction (the halt) is never proposed for
+// removal — a program that runs off its end is rejected by the oracle
+// anyway, so proposing it only wastes oracle calls.
+bool chunk_pass(FuzzProgram& fp, const Oracle& oracle, size_t chunk,
+                MinimizeStats& stats) {
+  bool changed = false;
+  size_t i = 0;
+  while (i + 1 < fp.program.size()) {
+    const size_t end = std::min(i + chunk, fp.program.size() - 1);
+    if (end <= i) break;
+    auto candidate_program = remove_range(fp.program, i, end);
+    if (candidate_program.has_value()) {
+      FuzzProgram candidate =
+          with_program(fp, std::move(*candidate_program));
+      if (check(oracle, candidate, stats)) {
+        fp = std::move(candidate);
+        changed = true;
+        continue;  // same index now names the next chunk
+      }
+    }
+    i = end;
+  }
+  return changed;
+}
+
+// Operand reduction: loop trips toward 1 (Li feeding a Loopnz), memory
+// displacements toward 0, immediates/shift counts toward small values.
+bool reduce_pass(FuzzProgram& fp, const Oracle& oracle,
+                 MinimizeStats& stats) {
+  bool changed = false;
+  for (size_t i = 0; i < fp.program.size(); ++i) {
+    const isa::Inst& cur = fp.program.at(i);
+    std::vector<isa::Inst> variants;
+    if (cur.disp != 0) {
+      isa::Inst v = cur;
+      v.disp = (cur.op == isa::Op::Li) ? 1 : 0;
+      variants.push_back(v);
+    }
+    if (cur.imm8 > 1) {
+      isa::Inst v = cur;
+      v.imm8 = 1;
+      variants.push_back(v);
+    }
+    for (const auto& v : variants) {
+      FuzzProgram candidate = fp;
+      candidate.program.insts()[i] = v;
+      if (check(oracle, candidate, stats)) {
+        fp = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+std::string hex_encode(const std::vector<uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  s.reserve(bytes.size() * 2);
+  for (const uint8_t b : bytes) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xF]);
+  }
+  return s;
+}
+
+std::vector<uint8_t> hex_decode(const std::string& s) {
+  if (s.size() % 2 != 0) {
+    throw std::runtime_error("reproducer: odd-length hex payload");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    throw std::runtime_error("reproducer: bad hex digit");
+  };
+  std::vector<uint8_t> out(s.size() / 2);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<uint8_t>((nibble(s[2 * i]) << 4) |
+                                  nibble(s[2 * i + 1]));
+  }
+  return out;
+}
+
+const core::CrossbarConfig& config_by_name(const std::string& name) {
+  for (const auto& cfg : core::kAllConfigs) {
+    if (name == cfg.name) return cfg;
+  }
+  throw std::runtime_error("reproducer: unknown crossbar config '" + name +
+                           "'");
+}
+
+}  // namespace
+
+Oracle divergence_oracle(const DiffOptions& opts) {
+  return [opts](const FuzzProgram& fp) {
+    const DiffResult r = run_differential(fp, opts);
+    return r.reference_ok && !r.divergences.empty();
+  };
+}
+
+FuzzProgram minimize(const FuzzProgram& fp, const Oracle& oracle,
+                     MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& st = stats != nullptr ? *stats : local;
+  st.original_size = static_cast<int>(fp.program.size());
+
+  FuzzProgram cur = fp;
+  if (!check(oracle, cur, st)) {
+    throw std::invalid_argument(
+        "minimize: input does not reproduce under the oracle");
+  }
+
+  bool changed = true;
+  while (changed) {
+    ++st.rounds;
+    changed = false;
+    for (size_t chunk = std::max<size_t>(1, cur.program.size() / 2);
+         chunk >= 1; chunk /= 2) {
+      if (chunk_pass(cur, oracle, chunk, st)) changed = true;
+      if (chunk == 1) break;
+    }
+    if (reduce_pass(cur, oracle, st)) changed = true;
+  }
+  st.minimized_size = static_cast<int>(cur.program.size());
+  return cur;
+}
+
+void write_reproducer(const FuzzProgram& fp, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open reproducer file '" + path + "'");
+  }
+  os << "# subword fuzz reproducer\n";
+  os << "seed: " << fp.seed << "\n";
+  os << "config: " << fp.cfg.name << "\n";
+  os << "use_spu: " << (fp.use_spu ? 1 : 0) << "\n";
+  os << "num_contexts: " << fp.num_contexts << "\n";
+  os << "mmio_base: " << fp.mmio_base << "\n";
+  os << "mem_bytes: " << fp.mem_bytes << "\n";
+  os << "expects_reject: " << (fp.expects_reject ? 1 : 0) << "\n";
+  os << "input: " << fp.input.addr << " " << fp.input.len << "\n";
+  os << "output: " << fp.output.addr << " " << fp.output.len << "\n";
+  os << "scratch: " << fp.scratch.addr << " " << fp.scratch.len << "\n";
+  os << "input_bytes: " << hex_encode(fp.input_bytes) << "\n";
+  os << "program:\n";
+  os << isa::disassemble(fp.program);
+  os << "end\n";
+}
+
+FuzzProgram load_reproducer(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot read reproducer file '" + path + "'");
+  }
+  FuzzProgram fp;
+  std::string line;
+  std::ostringstream listing;
+  bool in_program = false;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (in_program) {
+      if (line == "end") {
+        saw_end = true;
+        break;
+      }
+      listing << line << "\n";
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("reproducer: malformed line '" + line + "'");
+    }
+    const std::string key = line.substr(0, colon);
+    std::istringstream value(line.substr(colon + 1));
+    if (key == "seed") {
+      value >> fp.seed;
+    } else if (key == "config") {
+      std::string name;
+      value >> name;
+      fp.cfg = config_by_name(name);
+    } else if (key == "use_spu") {
+      int v = 0;
+      value >> v;
+      fp.use_spu = v != 0;
+    } else if (key == "num_contexts") {
+      value >> fp.num_contexts;
+    } else if (key == "mmio_base") {
+      value >> fp.mmio_base;
+    } else if (key == "mem_bytes") {
+      value >> fp.mem_bytes;
+    } else if (key == "expects_reject") {
+      int v = 0;
+      value >> v;
+      fp.expects_reject = v != 0;
+    } else if (key == "input") {
+      value >> fp.input.addr >> fp.input.len;
+    } else if (key == "output") {
+      value >> fp.output.addr >> fp.output.len;
+    } else if (key == "scratch") {
+      value >> fp.scratch.addr >> fp.scratch.len;
+    } else if (key == "input_bytes") {
+      std::string hex;
+      value >> hex;
+      fp.input_bytes = hex_decode(hex);
+    } else if (key == "program") {
+      in_program = true;
+    } else {
+      throw std::runtime_error("reproducer: unknown key '" + key + "'");
+    }
+  }
+  if (!in_program || !saw_end) {
+    throw std::runtime_error("reproducer: missing program section");
+  }
+  fp.program = isa::parse_program(listing.str());
+  return fp;
+}
+
+}  // namespace subword::fuzz

@@ -1,0 +1,47 @@
+// minimizer.h — corpus minimization: shrink a diverging program while
+// preserving the divergence, then dump a replayable reproducer.
+//
+// ddmin-style chunk removal over the instruction vector (branch targets are
+// retargeted across the cut; a candidate that would orphan a target is
+// simply not proposed), followed by operand reduction (loop trip counts
+// toward 1, displacements toward 0, shift counts toward 1). Every candidate
+// is validated by re-running the oracle — typically "run_differential still
+// reports a divergence" — so an ill-formed candidate (one the simulator
+// itself rejects) can never be accepted.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "fuzz/differential.h"
+#include "fuzz/generator.h"
+
+namespace subword::fuzz {
+
+// True when the candidate still exhibits the behavior being chased.
+using Oracle = std::function<bool(const FuzzProgram&)>;
+
+// The standard oracle: the differential harness reports at least one
+// divergence (and the reference run itself still completes).
+[[nodiscard]] Oracle divergence_oracle(const DiffOptions& opts = {});
+
+struct MinimizeStats {
+  int original_size = 0;
+  int minimized_size = 0;
+  int oracle_calls = 0;
+  int rounds = 0;
+};
+
+// Shrink `fp` under `oracle`. Requires oracle(fp) to be true on entry
+// (throws std::invalid_argument otherwise: minimizing a non-reproducing
+// input silently would hide a harness bug).
+[[nodiscard]] FuzzProgram minimize(const FuzzProgram& fp, const Oracle& oracle,
+                                   MinimizeStats* stats = nullptr);
+
+// Replayable reproducer: a self-contained text file holding the execution
+// parameters, the input payload and the disassembled program (parseable by
+// isa::parse_program, so the reproducer is also human-editable).
+void write_reproducer(const FuzzProgram& fp, const std::string& path);
+[[nodiscard]] FuzzProgram load_reproducer(const std::string& path);
+
+}  // namespace subword::fuzz

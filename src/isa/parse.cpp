@@ -1,0 +1,342 @@
+#include "isa/parse.h"
+
+#include <cctype>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/opcodes.h"
+
+namespace subword::isa {
+namespace {
+
+// One parsed operand.
+struct Operand {
+  enum class Kind { kMmx, kGp, kMem, kImm, kTarget };
+  Kind kind;
+  uint8_t reg = 0;    // kMmx/kGp register index, kMem base register
+  int64_t value = 0;  // kImm immediate, kMem displacement, kTarget index
+};
+
+std::string trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+int64_t parse_int(const std::string& s, int line) {
+  if (s.empty()) throw ParseError("empty integer", line);
+  size_t pos = 0;
+  int64_t v = 0;
+  try {
+    v = std::stoll(s, &pos, 10);
+  } catch (const std::exception&) {
+    throw ParseError("bad integer '" + s + "'", line);
+  }
+  if (pos != s.size()) throw ParseError("bad integer '" + s + "'", line);
+  return v;
+}
+
+uint8_t parse_reg_index(const std::string& s, size_t prefix_len, int limit,
+                        const char* what, int line) {
+  const int64_t idx = parse_int(s.substr(prefix_len), line);
+  if (idx < 0 || idx >= limit) {
+    throw ParseError(std::string(what) + " register out of range: " + s,
+                     line);
+  }
+  return static_cast<uint8_t>(idx);
+}
+
+Operand parse_operand(const std::string& raw, int line) {
+  const std::string s = trim(raw);
+  if (s.empty()) throw ParseError("empty operand", line);
+  Operand op{};
+  if (s.size() > 2 && s.front() == '[' && s.back() == ']') {
+    // [rN], [rN+d], [rN-d]
+    const std::string inner = s.substr(1, s.size() - 2);
+    if (inner.size() < 2 || inner[0] != 'r') {
+      throw ParseError("bad memory operand '" + s + "'", line);
+    }
+    size_t split = inner.find_first_of("+-", 1);
+    op.kind = Operand::Kind::kMem;
+    op.reg = parse_reg_index(inner.substr(0, split), 1, kNumGpRegs, "base",
+                             line);
+    if (split != std::string::npos) {
+      std::string disp = inner.substr(split);
+      if (disp[0] == '+') disp.erase(0, 1);
+      op.value = parse_int(disp, line);
+    }
+    return op;
+  }
+  if (s[0] == '@') {
+    op.kind = Operand::Kind::kTarget;
+    op.value = parse_int(s.substr(1), line);
+    return op;
+  }
+  if (s.size() > 2 && s[0] == 'm' && s[1] == 'm' &&
+      std::isdigit(static_cast<unsigned char>(s[2]))) {
+    op.kind = Operand::Kind::kMmx;
+    op.reg = parse_reg_index(s, 2, kNumMmxRegs, "mmx", line);
+    return op;
+  }
+  if (s.size() > 1 && s[0] == 'r' &&
+      std::isdigit(static_cast<unsigned char>(s[1]))) {
+    op.kind = Operand::Kind::kGp;
+    op.reg = parse_reg_index(s, 1, kNumGpRegs, "gp", line);
+    return op;
+  }
+  op.kind = Operand::Kind::kImm;
+  op.value = parse_int(s, line);
+  return op;
+}
+
+// Mnemonic -> candidate opcodes (movq/movd/shifts are shape-overloaded).
+const std::unordered_map<std::string, std::vector<Op>>& mnemonic_table() {
+  static const auto* table = [] {
+    auto* t = new std::unordered_map<std::string, std::vector<Op>>;
+    for (int i = 0; i < kOpCount; ++i) {
+      const auto op = static_cast<Op>(i);
+      (*t)[std::string(op_name(op))].push_back(op);
+    }
+    return t;
+  }();
+  return *table;
+}
+
+bool is_shift(Op op) {
+  switch (op) {
+    case Op::Psllw: case Op::Pslld: case Op::Psllq:
+    case Op::Psrlw: case Op::Psrld: case Op::Psrlq:
+    case Op::Psraw: case Op::Psrad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+using Shape = std::vector<Operand::Kind>;
+
+Shape shape_of(const std::vector<Operand>& ops) {
+  Shape s;
+  s.reserve(ops.size());
+  for (const auto& o : ops) s.push_back(o.kind);
+  return s;
+}
+
+// The operand shape each opcode disassembles to (kImm doubles as the
+// immediate-count shift form).
+Shape expected_shape(Op op) {
+  using K = Operand::Kind;
+  switch (op) {
+    case Op::MovqRR:
+      return {K::kMmx, K::kMmx};
+    case Op::MovqLoad:
+    case Op::MovdLoad:
+      return {K::kMmx, K::kMem};
+    case Op::MovqStore:
+    case Op::MovdStore:
+      return {K::kMem, K::kMmx};
+    case Op::MovdToMmx:
+      return {K::kMmx, K::kGp};
+    case Op::MovdFromMmx:
+      return {K::kGp, K::kMmx};
+    case Op::Emms:
+    case Op::Nop:
+    case Op::Halt:
+      return {};
+    case Op::Li:
+    case Op::SAddi:
+    case Op::SSubi:
+    case Op::SShli:
+    case Op::SShri:
+    case Op::SSrai:
+      return {K::kGp, K::kImm};
+    case Op::SMov: case Op::SAdd: case Op::SSub: case Op::SMul:
+    case Op::SAnd: case Op::SOr: case Op::SXor:
+      return {K::kGp, K::kGp};
+    case Op::SLoad16: case Op::SLoad32: case Op::SLoad64:
+      return {K::kGp, K::kMem};
+    case Op::SStore16: case Op::SStore32: case Op::SStore64:
+      return {K::kMem, K::kGp};
+    case Op::Jmp:
+      return {K::kTarget};
+    case Op::Jnz: case Op::Jz: case Op::Loopnz:
+      return {K::kGp, K::kTarget};
+    default:
+      // Two-operand MMX data op (shifts have a second, imm-count shape
+      // handled by the caller).
+      return {K::kMmx, K::kMmx};
+  }
+}
+
+Inst build_inst(Op op, const std::vector<Operand>& ops, int line) {
+  Inst in;
+  in.op = op;
+  using K = Operand::Kind;
+  const Shape got = shape_of(ops);
+  if (is_shift(op) && got == Shape{K::kMmx, K::kImm}) {
+    // Immediate-count shift form.
+    const int64_t count = ops[1].value;
+    if (count < 0 || count > 255) {
+      throw ParseError("shift count out of range", line);
+    }
+    in.dst = ops[0].reg;
+    in.src_is_imm = true;
+    in.imm8 = static_cast<uint8_t>(count);
+    return in;
+  }
+  if (got != expected_shape(op)) {
+    throw ParseError("operand shape does not match '" +
+                         std::string(op_name(op)) + "'",
+                     line);
+  }
+  auto imm32 = [&](int64_t v) {
+    if (v < INT32_MIN || v > INT32_MAX) {
+      throw ParseError("immediate out of range", line);
+    }
+    return static_cast<int32_t>(v);
+  };
+  switch (op) {
+    case Op::MovqLoad:
+    case Op::MovdLoad:
+      in.dst = ops[0].reg;
+      in.base = ops[1].reg;
+      in.disp = imm32(ops[1].value);
+      break;
+    case Op::MovqStore:
+    case Op::MovdStore:
+      in.base = ops[0].reg;
+      in.disp = imm32(ops[0].value);
+      in.src = ops[1].reg;
+      break;
+    case Op::Emms:
+    case Op::Nop:
+    case Op::Halt:
+      break;
+    case Op::Li:
+    case Op::SAddi:
+    case Op::SSubi:
+      in.dst = ops[0].reg;
+      in.disp = imm32(ops[1].value);
+      break;
+    case Op::SShli:
+    case Op::SShri:
+    case Op::SSrai:
+      if (ops[1].value < 0 || ops[1].value > 255) {
+        throw ParseError("shift count out of range", line);
+      }
+      in.dst = ops[0].reg;
+      in.imm8 = static_cast<uint8_t>(ops[1].value);
+      break;
+    case Op::SLoad16: case Op::SLoad32: case Op::SLoad64:
+      in.dst = ops[0].reg;
+      in.base = ops[1].reg;
+      in.disp = imm32(ops[1].value);
+      break;
+    case Op::SStore16: case Op::SStore32: case Op::SStore64:
+      in.base = ops[0].reg;
+      in.disp = imm32(ops[0].value);
+      in.src = ops[1].reg;
+      break;
+    case Op::Jmp:
+      in.target = imm32(ops[0].value);
+      break;
+    case Op::Jnz: case Op::Jz: case Op::Loopnz:
+      in.src = ops[0].reg;
+      in.target = imm32(ops[1].value);
+      break;
+    default:
+      // MovqRR / MovdToMmx / MovdFromMmx / register-count shifts / the
+      // two-operand MMX data ops all read (dst, src) in listing order.
+      in.dst = ops[0].reg;
+      in.src = ops[1].reg;
+      break;
+  }
+  return in;
+}
+
+Inst parse_inst_line(const std::string& text, int line) {
+  const std::string s = trim(text);
+  if (s.empty()) throw ParseError("empty instruction", line);
+  const size_t sp = s.find_first_of(" \t");
+  const std::string mnemonic = s.substr(0, sp);
+  std::vector<Operand> ops;
+  if (sp != std::string::npos) {
+    const std::string rest = s.substr(sp + 1);
+    std::string field;
+    std::istringstream is(rest);
+    while (std::getline(is, field, ',')) {
+      if (!trim(field).empty()) ops.push_back(parse_operand(field, line));
+    }
+  }
+  const auto& table = mnemonic_table();
+  const auto it = table.find(mnemonic);
+  if (it == table.end()) {
+    throw ParseError("unknown mnemonic '" + mnemonic + "'", line);
+  }
+  const Shape got = shape_of(ops);
+  for (const Op op : it->second) {
+    using K = Operand::Kind;
+    if (got == expected_shape(op) ||
+        (is_shift(op) && got == Shape{K::kMmx, K::kImm})) {
+      return build_inst(op, ops, line);
+    }
+  }
+  throw ParseError("no '" + mnemonic + "' form takes these operands", line);
+}
+
+}  // namespace
+
+Inst parse_inst(const std::string& text) { return parse_inst_line(text, 1); }
+
+Program parse_program(const std::string& listing) {
+  std::vector<Inst> insts;
+  std::unordered_map<std::string, int32_t> labels;
+  std::istringstream is(listing);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    std::string s = trim(raw);
+    if (s.empty()) continue;
+    if (s.back() == ':') {
+      // Either a "label:" line or a bare index prefix; an all-digit name
+      // with nothing after the colon is treated as a label (the
+      // disassembler never emits a bare index line).
+      const std::string name = trim(s.substr(0, s.size() - 1));
+      if (name.empty()) throw ParseError("empty label", lineno);
+      if (!labels.emplace(name, static_cast<int32_t>(insts.size())).second) {
+        throw ParseError("duplicate label '" + name + "'", lineno);
+      }
+      continue;
+    }
+    // Strip the "N:" index prefix the full-listing disassembler emits.
+    const size_t colon = s.find(':');
+    if (colon != std::string::npos) {
+      const std::string head = trim(s.substr(0, colon));
+      const bool all_digits =
+          !head.empty() &&
+          head.find_first_not_of("0123456789") == std::string::npos;
+      if (all_digits) s = trim(s.substr(colon + 1));
+    }
+    if (s.empty()) throw ParseError("instruction expected", lineno);
+    insts.push_back(parse_inst_line(s, lineno));
+  }
+  // Validate branch targets against the assembled length.
+  for (size_t i = 0; i < insts.size(); ++i) {
+    if (is_branch_op(insts[i].op)) {
+      if (insts[i].target < 0 ||
+          static_cast<size_t>(insts[i].target) >= insts.size()) {
+        throw ParseError("branch target @" + std::to_string(insts[i].target) +
+                             " out of range",
+                         static_cast<int>(i) + 1);
+      }
+    }
+  }
+  return Program(std::move(insts), std::move(labels));
+}
+
+}  // namespace subword::isa

@@ -1,0 +1,43 @@
+// parse.h — textual assembly parsing, the inverse of disasm.h.
+//
+// Accepts the exact listing format disassemble() emits — optional
+// "label:" lines, optional "N:" index prefixes, mnemonic + comma-separated
+// operands — so a disassembled program (or a fuzz reproducer dumped from
+// one) can be re-assembled bit-identically: for every well-formed Program
+// p, parse_program(disassemble(p)) reproduces p's instruction vector and
+// label placement exactly (the round-trip property test_isa pins down over
+// generated corpora).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.h"
+
+namespace subword::isa {
+
+// A line that cannot be parsed. `line()` is 1-based within the input.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line)
+      : std::runtime_error("parse error at line " + std::to_string(line) +
+                           ": " + what),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_ = 0;
+};
+
+// Parse one instruction ("paddw mm0, mm1", "movq mm2, [r3+16]",
+// "loopnz r1, @5", ...). Branch targets use the "@N" absolute-index form
+// the disassembler emits. Throws ParseError on malformed input.
+[[nodiscard]] Inst parse_inst(const std::string& text);
+
+// Parse a full listing: instruction per line, blank lines skipped,
+// "name:" label lines recorded, "N:" index prefixes (with optional
+// leading whitespace and a tab after the colon) ignored. Throws
+// ParseError on malformed input or a duplicate label name.
+[[nodiscard]] Program parse_program(const std::string& listing);
+
+}  // namespace subword::isa

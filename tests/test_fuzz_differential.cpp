@@ -1,0 +1,276 @@
+// Adversarial program fuzzing: the randomized ISA differential harness.
+//
+// These tests pin the three layers of src/fuzz down: the generator only
+// emits well-formed programs (the simulator reference always completes),
+// the differential oracle finds no unexplained divergence between the
+// simulator and the native tier across the orchestration matrix, and the
+// minimizer shrinks a genuinely diverging program (via the test-only
+// lowering fault) to an eyeball-sized reproducer without losing the
+// divergence. LoweringError context (op index, disassembled instruction,
+// crossbar config) is asserted here too, since the fuzz reports depend on
+// it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "backend/lowering.h"
+#include "fuzz/differential.h"
+#include "fuzz/generator.h"
+#include "fuzz/minimizer.h"
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+
+namespace subword {
+namespace {
+
+using fuzz::DiffResult;
+using fuzz::FuzzProgram;
+using fuzz::GeneratorOptions;
+
+// Restores fault injection on every exit path.
+struct FaultInjectionGuard {
+  explicit FaultInjectionGuard(bool enabled) {
+    backend::set_lowering_fault_injection(enabled);
+  }
+  ~FaultInjectionGuard() { backend::set_lowering_fault_injection(false); }
+};
+
+GeneratorOptions corpus_options(uint64_t seed) {
+  GeneratorOptions g;
+  g.seed = seed;
+  g.cfg = core::kAllConfigs[seed % core::kAllConfigs.size()];
+  g.reject_rate = 0.15;
+  return g;
+}
+
+TEST(FuzzGenerator, DeterministicInTheSeed) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const FuzzProgram a = fuzz::generate(corpus_options(seed));
+    const FuzzProgram b = fuzz::generate(corpus_options(seed));
+    EXPECT_EQ(isa::disassemble(a.program), isa::disassemble(b.program));
+    EXPECT_EQ(a.input_bytes, b.input_bytes);
+    EXPECT_EQ(a.use_spu, b.use_spu);
+    EXPECT_EQ(a.expects_reject, b.expects_reject);
+  }
+}
+
+TEST(FuzzGenerator, ProgramsAreWellFormed) {
+  // Every generated program must halt cleanly on the simulator — the
+  // reference run is the anchor everything else is compared against.
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    const FuzzProgram fp = fuzz::generate(corpus_options(seed));
+    ASSERT_FALSE(fp.program.empty());
+    const DiffResult r = fuzz::run_differential(fp);
+    EXPECT_TRUE(r.reference_ok)
+        << "seed " << seed << ": " << r.reference_error;
+  }
+}
+
+// The headline property: a bounded seeded corpus through the whole
+// orchestration matrix with zero unexplained divergences. CI runs a larger
+// corpus through the fuzz_driver binary; this keeps the property pinned in
+// the default test suite.
+TEST(FuzzDifferential, SeededCorpusHasNoDivergences) {
+  int rejections = 0;
+  int runs = 0;
+  for (uint64_t seed = 1; seed <= 150; ++seed) {
+    const FuzzProgram fp = fuzz::generate(corpus_options(seed));
+    const DiffResult r = fuzz::run_differential(fp);
+    ASSERT_TRUE(r.reference_ok)
+        << "seed " << seed << ": " << r.reference_error;
+    runs += r.runs;
+    rejections += static_cast<int>(r.rejections.size());
+    for (const auto& d : r.divergences) {
+      ADD_FAILURE() << "seed " << seed << " [" << fuzz::to_string(d.label)
+                    << "]: " << d.detail;
+    }
+    if (fp.expects_reject) {
+      EXPECT_FALSE(r.rejections.empty())
+          << "seed " << seed
+          << ": planted data-dependent branch was not rejected";
+    }
+  }
+  // The matrix actually ran (reference + native + 4 configs x 2 tiers for
+  // non-SPU programs), and the reject-plant corpus produced typed
+  // rejections rather than silence.
+  EXPECT_GT(runs, 150 * 2);
+  EXPECT_GT(rejections, 0);
+}
+
+TEST(FuzzDifferential, SpuProgramsAreCovered) {
+  // Force the SPU path: manual MMIO prologues with routed operand fetches
+  // must agree between the simulator and the native lowering.
+  int spu_programs = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    GeneratorOptions g = corpus_options(seed);
+    g.spu_rate = 1.0;
+    const FuzzProgram fp = fuzz::generate(g);
+    ASSERT_TRUE(fp.use_spu);
+    ++spu_programs;
+    const DiffResult r = fuzz::run_differential(fp);
+    ASSERT_TRUE(r.reference_ok)
+        << "seed " << seed << ": " << r.reference_error;
+    for (const auto& d : r.divergences) {
+      ADD_FAILURE() << "seed " << seed << " [" << fuzz::to_string(d.label)
+                    << "]: " << d.detail;
+    }
+  }
+  EXPECT_EQ(spu_programs, 60);
+}
+
+TEST(FuzzDifferential, PlantedRejectionsAreTypedAndContextual) {
+  // A planted data-dependent branch must surface as a typed LoweringError
+  // rejection carrying the bail site, never as a divergence or a crash.
+  bool saw_planted = false;
+  for (uint64_t seed = 1; seed <= 200 && !saw_planted; ++seed) {
+    GeneratorOptions g = corpus_options(seed);
+    g.reject_rate = 1.0;
+    g.spu_rate = 0.0;
+    const FuzzProgram fp = fuzz::generate(g);
+    ASSERT_TRUE(fp.expects_reject);
+    const DiffResult r = fuzz::run_differential(fp);
+    ASSERT_TRUE(r.reference_ok);
+    EXPECT_TRUE(r.divergences.empty());
+    ASSERT_FALSE(r.rejections.empty());
+    for (const auto& rej : r.rejections) {
+      if (rej.label.backend != fuzz::Backend::kNative ||
+          rej.label.mode != fuzz::Mode::kBaseline) {
+        continue;
+      }
+      saw_planted = true;
+      EXPECT_GE(rej.op_index, 0);
+      EXPECT_FALSE(rej.instruction.empty());
+      EXPECT_NE(rej.reason.find("depends on data"), std::string::npos)
+          << rej.reason;
+    }
+  }
+  EXPECT_TRUE(saw_planted);
+}
+
+TEST(LoweringError, CarriesOpIndexInstructionAndConfig) {
+  // Hand-built data-dependent branch: the rejection must name the exact
+  // static instruction, its disassembly, and the crossbar configuration.
+  isa::Assembler a;
+  a.li(isa::R2, 0x1000);               // 0
+  a.movq_load(isa::MM0, isa::R2, 0);   // 1  (input region -> data)
+  a.movd_from_mmx(isa::R5, isa::MM0);  // 2
+  a.jnz(isa::R5, "join");              // 3  <- bail site
+  a.nop();                             // 4
+  a.label("join");
+  a.halt();                            // 5
+  const isa::Program p = a.take();
+
+  backend::LoweringSpec spec;
+  spec.cfg = core::kConfigB;
+  spec.mem_bytes = 1u << 16;
+  spec.data_regions.push_back({0x1000, 64});
+
+  try {
+    (void)backend::lower(p, spec);
+    FAIL() << "expected LoweringError";
+  } catch (const backend::LoweringError& e) {
+    EXPECT_EQ(e.op_index(), 3);
+    EXPECT_EQ(e.instruction(), isa::disassemble(p.at(3)));
+    EXPECT_EQ(e.config(), "B");
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("op 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(isa::disassemble(p.at(3))), std::string::npos) << msg;
+    EXPECT_NE(msg.find("config B"), std::string::npos) << msg;
+  }
+}
+
+// The acceptance demo: with the test-only lowering fault enabled (Paddsw
+// mis-lowered as wrapping Paddw), the harness finds a divergence and the
+// minimizer shrinks it to <= 10 instructions with the divergence preserved.
+TEST(FuzzMinimizer, ShrinksInjectedLoweringFault) {
+  FaultInjectionGuard guard(true);
+  ASSERT_TRUE(backend::lowering_fault_injection());
+
+  FuzzProgram diverging;
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 300 && !found; ++seed) {
+    GeneratorOptions g = corpus_options(seed);
+    g.reject_rate = 0.0;
+    const FuzzProgram fp = fuzz::generate(g);
+    const DiffResult r = fuzz::run_differential(fp);
+    if (r.reference_ok && !r.divergences.empty()) {
+      diverging = fp;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "fault injection produced no divergence in 300 "
+                        "seeded programs";
+
+  fuzz::MinimizeStats stats;
+  const FuzzProgram small =
+      fuzz::minimize(diverging, fuzz::divergence_oracle(), &stats);
+
+  EXPECT_LE(stats.minimized_size, 10)
+      << isa::disassemble(small.program);
+  EXPECT_LT(stats.minimized_size, stats.original_size);
+  EXPECT_GT(stats.oracle_calls, 0);
+
+  // Divergence preserved on the minimized program...
+  EXPECT_TRUE(fuzz::divergence_oracle()(small));
+
+  // ...and caused by the injected fault, not by the minimizer: with the
+  // fault off the same program is clean.
+  backend::set_lowering_fault_injection(false);
+  const DiffResult clean = fuzz::run_differential(small);
+  ASSERT_TRUE(clean.reference_ok);
+  EXPECT_TRUE(clean.divergences.empty());
+}
+
+TEST(FuzzMinimizer, RefusesNonReproducingInput) {
+  const FuzzProgram fp = fuzz::generate(corpus_options(1));
+  // No fault injected: nothing diverges, so the oracle is false and the
+  // minimizer must refuse rather than silently "minimize".
+  EXPECT_THROW((void)fuzz::minimize(fp, fuzz::divergence_oracle()),
+               std::invalid_argument);
+}
+
+TEST(FuzzReproducer, RoundTripsThroughDisk) {
+  const FuzzProgram fp = fuzz::generate(corpus_options(7));
+  const std::string path =
+      testing::TempDir() + "/subword-fuzz-reproducer.txt";
+  fuzz::write_reproducer(fp, path);
+  const FuzzProgram back = fuzz::load_reproducer(path);
+
+  EXPECT_EQ(back.seed, fp.seed);
+  EXPECT_EQ(std::string(back.cfg.name), std::string(fp.cfg.name));
+  EXPECT_EQ(back.use_spu, fp.use_spu);
+  EXPECT_EQ(back.num_contexts, fp.num_contexts);
+  EXPECT_EQ(back.mmio_base, fp.mmio_base);
+  EXPECT_EQ(back.mem_bytes, fp.mem_bytes);
+  EXPECT_EQ(back.expects_reject, fp.expects_reject);
+  EXPECT_EQ(back.input.addr, fp.input.addr);
+  EXPECT_EQ(back.input.len, fp.input.len);
+  EXPECT_EQ(back.input_bytes, fp.input_bytes);
+  EXPECT_EQ(isa::disassemble(back.program), isa::disassemble(fp.program));
+
+  // The reloaded entry behaves identically under the harness.
+  const DiffResult a = fuzz::run_differential(fp);
+  const DiffResult b = fuzz::run_differential(back);
+  ASSERT_TRUE(a.reference_ok);
+  ASSERT_TRUE(b.reference_ok);
+  EXPECT_EQ(a.divergences.size(), b.divergences.size());
+  EXPECT_EQ(a.rejections.size(), b.rejections.size());
+}
+
+TEST(FuzzReproducer, LoadRejectsMalformedFiles) {
+  const std::string dir = testing::TempDir();
+  {
+    const std::string path = dir + "/subword-fuzz-bad1.txt";
+    std::ofstream os(path);
+    os << "seed: 1\n";  // no program section
+  }
+  EXPECT_THROW((void)fuzz::load_reproducer(dir + "/subword-fuzz-bad1.txt"),
+               std::runtime_error);
+  EXPECT_THROW((void)fuzz::load_reproducer(dir + "/does-not-exist.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace subword

@@ -1,0 +1,263 @@
+// fuzz_driver — randomized ISA differential fuzzing from the command line.
+//
+// Modes:
+//   (default)          generate --count seeded programs, run each through
+//                      the differential harness (sim reference, native
+//                      tier, orchestrated runs under every crossbar
+//                      configuration). Any unexplained divergence is
+//                      minimized and dumped as a replayable reproducer
+//                      into --artifacts; exit status 1.
+//   --break-lowering   self-check: enable the test-only lowering fault
+//                      (Paddsw mis-lowered as Paddw), find a diverging
+//                      program, minimize it, and require the minimized
+//                      reproducer to stay small with the divergence
+//                      preserved. Proves the whole find-shrink-replay loop
+//                      end to end; exit 0 on success.
+//   --replay FILE      re-run a dumped reproducer; exit 2 if it still
+//                      diverges, 0 otherwise.
+//
+// Everything is deterministic in --seed: corpus entry i uses seed+i and
+// rotates the generator's crossbar configuration through A..D.
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "backend/lowering.h"
+#include "fuzz/differential.h"
+#include "fuzz/generator.h"
+#include "fuzz/minimizer.h"
+
+namespace {
+
+using namespace subword;
+
+struct DriverOptions {
+  uint64_t seed = 1;
+  int count = 500;
+  std::string artifacts = "fuzz-artifacts";
+  double spu_rate = 0.3;
+  double defer_rate = 0.5;
+  double reject_rate = 0.15;
+  std::string pin_config;  // empty = rotate A..D
+  bool break_lowering = false;
+  std::string replay_path;
+};
+
+void usage() {
+  std::cerr
+      << "usage: fuzz_driver [--seed N] [--count N] [--artifacts DIR]\n"
+         "                   [--spu-rate P] [--defer-rate P] [--reject-rate "
+         "P]\n"
+         "                   [--config A|B|C|D] [--break-lowering]\n"
+         "                   [--replay FILE]\n";
+}
+
+DriverOptions parse_args(int argc, char** argv) {
+  DriverOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        usage();
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      o.seed = std::stoull(value());
+    } else if (arg == "--count") {
+      o.count = std::stoi(value());
+    } else if (arg == "--artifacts") {
+      o.artifacts = value();
+    } else if (arg == "--spu-rate") {
+      o.spu_rate = std::stod(value());
+    } else if (arg == "--defer-rate") {
+      o.defer_rate = std::stod(value());
+    } else if (arg == "--reject-rate") {
+      o.reject_rate = std::stod(value());
+    } else if (arg == "--config") {
+      o.pin_config = value();
+    } else if (arg == "--break-lowering") {
+      o.break_lowering = true;
+    } else if (arg == "--replay") {
+      o.replay_path = value();
+    } else {
+      std::cerr << "unknown argument " << arg << "\n";
+      usage();
+      std::exit(64);
+    }
+  }
+  return o;
+}
+
+const core::CrossbarConfig& config_for(const DriverOptions& o, int index) {
+  if (!o.pin_config.empty()) {
+    for (const auto& cfg : core::kAllConfigs) {
+      if (o.pin_config == cfg.name) return cfg;
+    }
+    std::cerr << "unknown config '" << o.pin_config << "'\n";
+    std::exit(64);
+  }
+  return core::kAllConfigs[static_cast<size_t>(index) %
+                           core::kAllConfigs.size()];
+}
+
+fuzz::FuzzProgram make_program(const DriverOptions& o, int index) {
+  fuzz::GeneratorOptions g;
+  g.seed = o.seed + static_cast<uint64_t>(index);
+  g.spu_rate = o.spu_rate;
+  g.defer_rate = o.defer_rate;
+  g.reject_rate = o.reject_rate;
+  g.cfg = config_for(o, index);
+  return fuzz::generate(g);
+}
+
+// Minimize a diverging program and dump original + minimized reproducers.
+void dump_divergence(const fuzz::FuzzProgram& fp, const DriverOptions& o) {
+  std::filesystem::create_directories(o.artifacts);
+  const std::string base =
+      o.artifacts + "/div-seed-" + std::to_string(fp.seed);
+  fuzz::write_reproducer(fp, base + "-original.txt");
+
+  fuzz::MinimizeStats stats;
+  const fuzz::FuzzProgram small =
+      fuzz::minimize(fp, fuzz::divergence_oracle(), &stats);
+  fuzz::write_reproducer(small, base + "-min.txt");
+  std::cerr << "  minimized " << stats.original_size << " -> "
+            << stats.minimized_size << " instructions ("
+            << stats.oracle_calls << " oracle calls); reproducers at "
+            << base << "-{original,min}.txt\n";
+}
+
+int run_corpus(const DriverOptions& o) {
+  int divergences = 0;
+  int rejections = 0;
+  int expected_rejects = 0;
+  int missing_expected_rejects = 0;
+  int total_runs = 0;
+
+  for (int i = 0; i < o.count; ++i) {
+    const fuzz::FuzzProgram fp = make_program(o, i);
+    const fuzz::DiffResult r = fuzz::run_differential(fp);
+    total_runs += r.runs;
+
+    if (!r.reference_ok) {
+      std::cerr << "seed " << fp.seed
+                << ": generated program failed the reference run (generator "
+                   "bug): "
+                << r.reference_error << "\n";
+      return 1;
+    }
+    rejections += static_cast<int>(r.rejections.size());
+    if (fp.expects_reject) {
+      ++expected_rejects;
+      if (r.rejections.empty()) {
+        ++missing_expected_rejects;
+        std::cerr << "seed " << fp.seed
+                  << ": planted data-dependent branch was not rejected\n";
+      }
+    }
+    if (!r.divergences.empty()) {
+      ++divergences;
+      std::cerr << "seed " << fp.seed << ": DIVERGENCE\n";
+      for (const auto& d : r.divergences) {
+        std::cerr << "  [" << fuzz::to_string(d.label) << "] " << d.detail
+                  << "\n";
+      }
+      dump_divergence(fp, o);
+    }
+  }
+
+  std::cout << "fuzz: " << o.count << " programs, " << total_runs
+            << " differential runs, " << rejections << " typed rejections ("
+            << expected_rejects << " planted), " << divergences
+            << " divergences\n";
+  if (missing_expected_rejects > 0) return 1;
+  return divergences == 0 ? 0 : 1;
+}
+
+int run_break_lowering(const DriverOptions& o) {
+  backend::set_lowering_fault_injection(true);
+  const int max_attempts = 500;
+  for (int i = 0; i < max_attempts; ++i) {
+    DriverOptions gen = o;
+    gen.reject_rate = 0.0;  // chase the injected fault, not planted rejects
+    const fuzz::FuzzProgram fp = make_program(gen, i);
+    const fuzz::DiffResult r = fuzz::run_differential(fp);
+    if (!r.reference_ok || r.divergences.empty()) continue;
+
+    std::cerr << "break-lowering: seed " << fp.seed << " diverges ("
+              << fuzz::to_string(r.divergences.front().label) << ")\n";
+    fuzz::MinimizeStats stats;
+    const fuzz::FuzzProgram small =
+        fuzz::minimize(fp, fuzz::divergence_oracle(), &stats);
+
+    // The minimized program must still diverge, and must be small enough
+    // to eyeball (the whole point of the shrink loop).
+    if (!fuzz::divergence_oracle()(small)) {
+      std::cerr << "break-lowering: minimized program lost the divergence\n";
+      backend::set_lowering_fault_injection(false);
+      return 1;
+    }
+    std::filesystem::create_directories(o.artifacts);
+    const std::string path = o.artifacts + "/break-lowering-min.txt";
+    fuzz::write_reproducer(small, path);
+    backend::set_lowering_fault_injection(false);
+
+    std::cout << "break-lowering: minimized " << stats.original_size
+              << " -> " << stats.minimized_size << " instructions ("
+              << stats.oracle_calls << " oracle calls), reproducer at "
+              << path << "\n";
+    if (stats.minimized_size > 10) {
+      std::cerr << "break-lowering: minimized program still has "
+                << stats.minimized_size << " instructions (> 10)\n";
+      return 1;
+    }
+    return 0;
+  }
+  backend::set_lowering_fault_injection(false);
+  std::cerr << "break-lowering: no divergence found in " << max_attempts
+            << " programs — fault injection is not reaching the corpus\n";
+  return 1;
+}
+
+int run_replay(const DriverOptions& o) {
+  const fuzz::FuzzProgram fp = fuzz::load_reproducer(o.replay_path);
+  const fuzz::DiffResult r = fuzz::run_differential(fp);
+  if (!r.reference_ok) {
+    std::cerr << "replay: reference run failed: " << r.reference_error
+              << "\n";
+    return 1;
+  }
+  for (const auto& rej : r.rejections) {
+    std::cout << "replay: [" << fuzz::to_string(rej.label) << "] rejected: "
+              << rej.reason << "\n";
+  }
+  if (!r.divergences.empty()) {
+    for (const auto& d : r.divergences) {
+      std::cout << "replay: [" << fuzz::to_string(d.label)
+                << "] DIVERGENCE: " << d.detail << "\n";
+    }
+    return 2;
+  }
+  std::cout << "replay: no divergence (" << r.runs << " runs)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const DriverOptions o = parse_args(argc, argv);
+  try {
+    if (!o.replay_path.empty()) return run_replay(o);
+    if (o.break_lowering) return run_break_lowering(o);
+    return run_corpus(o);
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_driver: " << e.what() << "\n";
+    return 1;
+  }
+}
