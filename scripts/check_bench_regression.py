@@ -12,8 +12,9 @@ Metrics fall into two classes:
     hit/miss counts and anything derived purely from them. These are
     bit-reproducible across machines, so any regression beyond the
     threshold FAILS the job.
-  * wall-clock — *_ms, jobs_per_s, wall/execute speedups. Host-dependent,
-    so regressions only WARN (they still land in the trajectory table).
+  * wall-clock — *_ms, *_us latency percentiles, jobs_per_s, throughput,
+    wall/execute speedups. Host-dependent, so regressions only WARN (they
+    still land in the trajectory table).
 
 A metric "regresses" when it is worse than baseline by more than
 --threshold (default 15%), in the metric's own good direction (cycles:
@@ -48,10 +49,21 @@ METRIC_RULES = [
     ("busy", True, False),
     ("routed", True, True),        # routed operands replace permutations
     ("instructions", True, False),
+    # Service soak: admission / divergence counts are deterministic for a
+    # fixed (connections, requests, probes) invocation and gate hard;
+    # latency percentiles and throughput are wall-clock like every *_ms.
+    ("ok_responses", True, True),
+    ("divergent", True, False),
+    ("transport_failures", True, False),
+    ("not_shed", True, False),     # must precede the shed_responses rule
+    ("shed_responses", True, False),
+    ("occupier_completed", True, True),
     ("jobs_per_s", False, True),
     ("speedup", False, True),      # wall-derived speedups
     ("cold_over_warm", False, True),
     ("_ms", False, False),
+    ("_us", False, False),
+    ("_rps", False, True),
 ]
 
 

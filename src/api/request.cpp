@@ -281,6 +281,9 @@ Result<Response> to_response(runtime::JobResult r,
       case runtime::JobErrorKind::kCancelled:
         code = ErrorCode::kCancelled;
         break;
+      case runtime::JobErrorKind::kOverloaded:
+        code = ErrorCode::kOverloaded;
+        break;
       case runtime::JobErrorKind::kBackendUnsupported:
         code = ErrorCode::kBackendUnsupported;
         break;

@@ -30,6 +30,10 @@ enum class ErrorCode {
   kBackendUnsupported,   // the requested execution backend cannot run this
                          // kernel (native lowering rejected the program)
   kSessionShutdown,      // submitted after Session::shutdown
+  kOverloaded,           // shed by admission control: the engine queue is
+                         // past its shed threshold (or blocked too long on
+                         // a full bounded queue) — retry later, the
+                         // request itself was well-formed
   kCancelled,            // dropped by a cancel while queued
   kExecutionFailed,      // preparation or simulation failed
   kVerificationFailed,   // outputs did not match the scalar reference
@@ -46,6 +50,7 @@ enum class ErrorCode {
     case ErrorCode::kPipelineMismatch: return "PipelineMismatch";
     case ErrorCode::kBackendUnsupported: return "BackendUnsupported";
     case ErrorCode::kSessionShutdown: return "SessionShutdown";
+    case ErrorCode::kOverloaded: return "Overloaded";
     case ErrorCode::kCancelled: return "Cancelled";
     case ErrorCode::kExecutionFailed: return "ExecutionFailed";
     case ErrorCode::kVerificationFailed: return "VerificationFailed";

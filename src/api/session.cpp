@@ -8,7 +8,9 @@ Session::Session(SessionOptions opts)
     : engine_(runtime::BatchEngineOptions{
           .workers = opts.workers,
           .queue_capacity = opts.queue_capacity,
-          .cache = std::move(opts.cache)}) {}
+          .cache = std::move(opts.cache),
+          .shed_queue_depth = opts.shed_queue_depth,
+          .shed_max_block_ns = opts.shed_max_block_ns}) {}
 
 Session::~Session() = default;  // ~BatchEngine drains
 
@@ -32,6 +34,8 @@ Result<kernels::KernelInfo> Session::kernel(std::string_view name) const {
 }
 
 runtime::EngineStats Session::stats() const { return engine_.stats(); }
+
+size_t Session::queue_depth() const { return engine_.queue_depth(); }
 
 std::shared_ptr<runtime::OrchestrationCache> Session::shared_cache() const {
   return engine_.shared_cache();

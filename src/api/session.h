@@ -13,6 +13,8 @@
 // exceptions stop at the engine boundary; Session itself never throws.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -33,6 +35,15 @@ struct SessionOptions {
   // the queue without limit. 0: unbounded. Blocked time is visible as
   // EngineStats::submit_block_ns.
   int queue_capacity = 0;
+  // -- Admission control (load shedding) ------------------------------------
+  // When nonzero, submissions finding this many jobs already queued resolve
+  // immediately with ErrorCode::kOverloaded instead of queueing (or
+  // blocking on a full bounded queue). A serving layer sets this so
+  // overload fails fast at the submitter instead of stalling its sockets.
+  int shed_queue_depth = 0;
+  // With a bounded queue: the longest one submission may block on
+  // backpressure before resolving with kOverloaded. 0: block indefinitely.
+  uint64_t shed_max_block_ns = 0;
   // Shared orchestration cache; null means the Session owns a private one.
   std::shared_ptr<runtime::OrchestrationCache> cache;
 };
@@ -63,6 +74,10 @@ class Session {
       std::string_view name) const;
 
   [[nodiscard]] runtime::EngineStats stats() const;
+
+  // Live engine queue depth — a lock-free atomic snapshot, cheap enough to
+  // poll per request (stats() takes the queue mutex; this does not).
+  [[nodiscard]] size_t queue_depth() const;
   [[nodiscard]] std::shared_ptr<runtime::OrchestrationCache> shared_cache()
       const;
   [[nodiscard]] int workers() const;

@@ -29,6 +29,35 @@
 
 namespace subword::fuzz {
 
+// Deterministic PRNG facade shared by the fuzz layers (program generation
+// here, wire-frame mutation in the service fuzz). Deliberately avoids
+// <random> distributions: their output is implementation-defined, and a
+// corpus entry must mean the same program on every toolchain. splitmix64
+// is fully specified.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform-ish int in [0, n). Modulo bias is irrelevant here.
+  int below(int n) {
+    return static_cast<int>(next() % static_cast<uint64_t>(n));
+  }
+
+  bool chance(double p) {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
 struct Region {
   uint64_t addr = 0;
   size_t len = 0;

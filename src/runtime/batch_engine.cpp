@@ -25,6 +25,10 @@ BatchEngine::BatchEngine(Options opts) {
                       : std::make_shared<OrchestrationCache>();
   queue_capacity_ =
       opts.queue_capacity > 0 ? static_cast<size_t>(opts.queue_capacity) : 0;
+  shed_queue_depth_ =
+      opts.shed_queue_depth > 0 ? static_cast<size_t>(opts.shed_queue_depth)
+                                : 0;
+  shed_max_block_ns_ = opts.shed_max_block_ns;
   int n = opts.workers;
   if (n <= 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
@@ -44,16 +48,50 @@ std::future<JobResult> BatchEngine::submit(KernelJob job) {
   std::future<JobResult> fut = task.promise.get_future();
   {
     std::unique_lock lock(mu_);
+    // Admission control: shed instead of queueing once the depth threshold
+    // is crossed. Decided under the queue mutex, so the depth read cannot
+    // race a concurrent push — the policy is exact, not advisory.
+    if (accepting_ && shed_queue_depth_ != 0 &&
+        queue_.size() >= shed_queue_depth_) {
+      ++agg_.jobs_shed;
+      JobResult r;
+      r.ok = false;
+      r.kind = JobErrorKind::kOverloaded;
+      r.error = "shed: engine queue depth " + std::to_string(queue_.size()) +
+                " >= shed threshold " + std::to_string(shed_queue_depth_);
+      task.promise.set_value(std::move(r));
+      return fut;
+    }
     if (queue_capacity_ != 0 && accepting_ &&
         queue_.size() >= queue_capacity_) {
       // Bounded queue: block the submitter (backpressure) until a worker
       // makes room or shutdown begins. Workers never wait on submitters,
       // so this cannot deadlock a pipeline driver feeding the engine.
+      // With shed_max_block_ns the wait is bounded: a submission that
+      // would block longer is shed with kOverloaded instead.
       const uint64_t b0 = now_ns();
-      cv_space_.wait(lock, [this] {
+      const auto have_room = [this] {
         return !accepting_ || queue_.size() < queue_capacity_;
-      });
+      };
+      bool room = true;
+      if (shed_max_block_ns_ != 0) {
+        room = cv_space_.wait_for(
+            lock, std::chrono::nanoseconds(shed_max_block_ns_), have_room);
+      } else {
+        cv_space_.wait(lock, have_room);
+      }
       agg_.submit_block_ns += now_ns() - b0;
+      if (!room) {
+        ++agg_.jobs_shed;
+        JobResult r;
+        r.ok = false;
+        r.kind = JobErrorKind::kOverloaded;
+        r.error = "shed: blocked on a full queue (capacity " +
+                  std::to_string(queue_capacity_) + ") longer than " +
+                  std::to_string(shed_max_block_ns_) + " ns";
+        task.promise.set_value(std::move(r));
+        return fut;
+      }
     }
     if (!accepting_) {
       ++agg_.jobs_rejected;
@@ -67,6 +105,7 @@ std::future<JobResult> BatchEngine::submit(KernelJob job) {
     ++agg_.jobs_submitted;
     task.enqueue_ns = now_ns();
     queue_.push_back(std::move(task));
+    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
     agg_.queue_peak_depth =
         std::max(agg_.queue_peak_depth, static_cast<uint64_t>(queue_.size()));
   }
@@ -111,6 +150,7 @@ void BatchEngine::cancel() {
     accepting_ = false;
     draining_ = true;
     dropped.swap(queue_);
+    queue_depth_.store(0, std::memory_order_relaxed);
   }
   cv_.notify_all();
   cv_space_.notify_all();
@@ -156,6 +196,7 @@ void BatchEngine::worker_loop(int worker_id) {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
       agg_.queue_wait_ns += now_ns() - task.enqueue_ns;
     }
     if (queue_capacity_ != 0) cv_space_.notify_one();

@@ -61,6 +61,7 @@ enum class JobErrorKind {
   kCancelled,            // dropped by cancel() while still queued
   kFailed,               // preparation or execution failed (error has details)
   kBackendUnsupported,   // native lowering rejected the program
+  kOverloaded,           // shed by admission control (shed_* thresholds)
 };
 
 struct JobResult {
@@ -96,6 +97,10 @@ struct EngineStats {
   uint64_t queue_wait_ns = 0;
   uint64_t queue_peak_depth = 0;
   uint64_t submit_block_ns = 0;
+  // Jobs rejected by admission control (shed_queue_depth /
+  // shed_max_block_ns) with JobErrorKind::kOverloaded. Shed jobs never
+  // enter the queue and are not counted as submitted.
+  uint64_t jobs_shed = 0;
   uint64_t scratch_machine_allocs = 0;
   uint64_t scratch_arena_allocs = 0;
   CacheStats cache;
@@ -112,6 +117,19 @@ struct BatchEngineOptions {
   // cache across engines models several service replicas amortizing the
   // same orchestrations.
   std::shared_ptr<OrchestrationCache> cache;
+  // -- Admission control (load shedding) ------------------------------------
+  // When nonzero, a submission that finds `shed_queue_depth` jobs already
+  // queued is rejected immediately with JobErrorKind::kOverloaded instead
+  // of growing the queue (or blocking on a full bounded one). This is what
+  // lets a serving layer fail fast under overload rather than stalling its
+  // sockets on backpressure.
+  int shed_queue_depth = 0;
+  // With a bounded queue (queue_capacity > 0): the longest one submission
+  // may block on backpressure before being shed with kOverloaded.
+  // 0: block indefinitely (PR-6 behaviour). Shed-or-not is decided per
+  // submission, so blocked time stays bounded and observable
+  // (EngineStats::submit_block_ns still accumulates the time spent).
+  uint64_t shed_max_block_ns = 0;
 };
 
 class BatchEngine {
@@ -143,6 +161,15 @@ class BatchEngine {
   void cancel();
 
   [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
+
+  // Live queue depth, readable without taking the queue mutex: an atomic
+  // snapshot maintained at every push/pop. This is what admission-control
+  // policies poll per request — EngineStats::queue_peak_depth is only the
+  // after-the-fact high-water mark, and stats() costs a mutex round trip.
+  // The value may be momentarily stale (a concurrent push/pop), never torn.
+  [[nodiscard]] size_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const OrchestrationCache& cache() const { return *cache_; }
   [[nodiscard]] std::shared_ptr<OrchestrationCache> shared_cache() const {
     return cache_;
@@ -170,7 +197,9 @@ class BatchEngine {
 
   std::shared_ptr<OrchestrationCache> cache_;
   std::vector<std::thread> threads_;
-  size_t queue_capacity_ = 0;  // 0: unbounded
+  size_t queue_capacity_ = 0;    // 0: unbounded
+  size_t shed_queue_depth_ = 0;  // 0: no depth-based shedding
+  uint64_t shed_max_block_ns_ = 0;  // 0: block without limit
 
   mutable std::mutex mu_;
   std::condition_variable cv_;        // workers: work available / draining
@@ -184,6 +213,7 @@ class BatchEngine {
   // lock-free from inside run_job, so they live outside agg_ as atomics
   // and are folded into the snapshot by stats().
   EngineStats agg_;
+  std::atomic<size_t> queue_depth_{0};  // mirrors queue_.size()
   std::atomic<uint64_t> scratch_machine_allocs_{0};
   std::atomic<uint64_t> scratch_arena_allocs_{0};
 };

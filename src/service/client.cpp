@@ -1,0 +1,50 @@
+#include "service/client.h"
+
+namespace subword::service {
+
+bool ServiceClient::connect(uint16_t port, std::string* err) {
+  sock_ = connect_loopback(port, err);
+  return sock_.valid();
+}
+
+CallResult ServiceClient::call(const WireRequest& req) {
+  std::vector<uint8_t> frame;
+  encode_request(req, &frame);
+  return round_trip(frame);
+}
+
+CallResult ServiceClient::call_raw(const std::vector<uint8_t>& frame) {
+  return round_trip(frame);
+}
+
+CallResult ServiceClient::round_trip(const std::vector<uint8_t>& frame) {
+  CallResult r;
+  if (!sock_.valid()) {
+    r.transport_error = "not connected";
+    return r;
+  }
+  if (!write_all(sock_.fd(), frame)) {
+    r.transport_error = "send failed";
+    sock_.close();
+    return r;
+  }
+  FrameRead in = read_frame(sock_.fd());
+  if (in.status != IoStatus::kOk) {
+    r.transport_error = in.status == IoStatus::kEof
+                            ? "server closed the connection"
+                            : in.error;
+    sock_.close();
+    return r;
+  }
+  auto decoded = decode_response(in.body);
+  if (!decoded.ok()) {
+    r.transport_error = "undecodable response: " + decoded.error().to_string();
+    sock_.close();
+    return r;
+  }
+  r.transport_ok = true;
+  r.response = std::move(*decoded);
+  return r;
+}
+
+}  // namespace subword::service

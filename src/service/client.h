@@ -1,0 +1,53 @@
+// client.h — the blocking service client: one TCP connection, one request
+// in flight at a time (matching the server's per-connection contract; open
+// more clients for parallelism — the soak driver opens thousands).
+//
+// call() is a full round trip: encode, send, read one frame, decode. Both
+// transport failures and the server's typed protocol-error responses come
+// back as CallResult so callers distinguish "the network broke" from "the
+// server said my frame was malformed" from "the server answered".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/socket.h"
+
+namespace subword::service {
+
+struct CallResult {
+  bool transport_ok = false;  // a response frame arrived and decoded
+  std::string transport_error;
+  WireResponse response;  // valid only when transport_ok
+
+  [[nodiscard]] bool ok() const {
+    return transport_ok && response.status == WireStatus::kOk;
+  }
+};
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+
+  // Connect to the loopback server. False (with *err) on failure.
+  [[nodiscard]] bool connect(uint16_t port, std::string* err = nullptr);
+  [[nodiscard]] bool connected() const { return sock_.valid(); }
+  void close() { sock_.close(); }
+
+  // One blocking round trip. The connection survives typed error
+  // responses (protocol errors included); it is closed by this client
+  // only on transport failure.
+  [[nodiscard]] CallResult call(const WireRequest& req);
+
+  // Send raw pre-framed bytes and read one response frame — the wire-fuzz
+  // path, where the bytes are deliberately NOT a valid request.
+  [[nodiscard]] CallResult call_raw(const std::vector<uint8_t>& frame);
+
+ private:
+  [[nodiscard]] CallResult round_trip(const std::vector<uint8_t>& frame);
+
+  Socket sock_;
+};
+
+}  // namespace subword::service

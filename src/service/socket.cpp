@@ -1,0 +1,168 @@
+#include "service/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace subword::service {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// recv exactly `len` bytes. Returns kOk, kEof (clean close before any
+// byte), or kError (failure or close mid-read).
+IoStatus recv_exact(int fd, uint8_t* buf, size_t len, std::string* err) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return IoStatus::kEof;
+      *err = "connection closed mid-frame";
+      return IoStatus::kError;
+    }
+    if (errno == EINTR) continue;
+    *err = errno_string("recv");
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+FrameRead read_frame(int fd, uint32_t max_body_bytes) {
+  FrameRead r;
+  uint8_t prefix[4];
+  r.status = recv_exact(fd, prefix, sizeof prefix, &r.error);
+  if (r.status != IoStatus::kOk) return r;
+
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (len > max_body_bytes || len > kMaxFrameBytes) {
+    r.status = IoStatus::kOversized;
+    r.error = "frame body of " + std::to_string(len) +
+              " bytes exceeds the cap of " +
+              std::to_string(std::min(max_body_bytes, kMaxFrameBytes));
+    return r;
+  }
+  r.body.resize(len);
+  if (len != 0) {
+    r.status = recv_exact(fd, r.body.data(), len, &r.error);
+    if (r.status == IoStatus::kEof) {
+      // EOF exactly between prefix and body is still mid-frame.
+      r.status = IoStatus::kError;
+      r.error = "connection closed mid-frame";
+    }
+  }
+  return r;
+}
+
+bool write_all(int fd, const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Socket listen_loopback(uint16_t port, int backlog, uint16_t* bound_port,
+                       std::string* err) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    if (err != nullptr) *err = errno_string("socket");
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (err != nullptr) *err = errno_string("bind");
+    return {};
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    if (err != nullptr) *err = errno_string("listen");
+    return {};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      if (err != nullptr) *err = errno_string("getsockname");
+      return {};
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Socket connect_loopback(uint16_t port, std::string* err) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    if (err != nullptr) *err = errno_string("socket");
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      // Requests are small and latency-bound: coalescing them behind
+      // Nagle only inflates the soak percentiles.
+      const int one = 1;
+      ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    if (err != nullptr) *err = errno_string("connect");
+    return {};
+  }
+}
+
+}  // namespace subword::service

@@ -1,0 +1,97 @@
+// socket.h — the thin POSIX layer under the service: an RAII socket
+// handle, loopback listen/connect helpers, and blocking frame I/O over the
+// protocol's length-prefix framing.
+//
+// Kept deliberately small and boring: everything protocol-shaped lives in
+// protocol.h as pure byte-vector functions; this file only moves those
+// bytes through file descriptors. All reads/writes loop over partial
+// transfers; writes suppress SIGPIPE so a peer hanging up mid-response is
+// an error return, never a process signal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace subword::service {
+
+// Move-only owner of a socket fd. Closing twice, moving-from and
+// destroying an invalid handle are all safe no-ops.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  void close();
+  // Half-close the read side: a peer (or our own reader thread) blocked in
+  // recv wakes with EOF while in-flight writes may still complete — the
+  // graceful-drain primitive.
+  void shutdown_read();
+  // Half-close the write side: the peer's recv sees EOF once it drains
+  // what we sent, while our own reads still work — how a fuzz client says
+  // "no more bytes are coming" to a server waiting out a lying length
+  // prefix, without giving up on the response.
+  void shutdown_write();
+  // Full shutdown: wakes accept()/recv() on this fd (listen sockets).
+  void shutdown_both();
+
+ private:
+  int fd_ = -1;
+};
+
+// -- Frame I/O ----------------------------------------------------------------
+
+enum class IoStatus : uint8_t {
+  kOk,
+  kEof,        // orderly close at a frame boundary
+  kError,      // recv/send failure, or EOF mid-frame
+  kOversized,  // length prefix beyond the cap: the stream is poisoned —
+               // respond once, then close (framing cannot be trusted)
+};
+
+struct FrameRead {
+  IoStatus status = IoStatus::kOk;
+  std::vector<uint8_t> body;  // the frame body (length prefix stripped)
+  std::string error;
+};
+
+// Read one length-prefixed frame. Blocks until a full frame, EOF, or an
+// error. `max_body_bytes` caps the declared body length (the oversized
+// frame's bytes are never read, let alone allocated).
+[[nodiscard]] FrameRead read_frame(int fd,
+                                   uint32_t max_body_bytes = kMaxFrameBytes);
+
+// Write pre-encoded frame bytes (length prefix included, as produced by
+// encode_request/encode_response). False on any send failure.
+[[nodiscard]] bool write_all(int fd, const std::vector<uint8_t>& bytes);
+
+// -- Connection establishment (loopback service) ------------------------------
+
+// Bind + listen on 127.0.0.1:`port` (0 = ephemeral). On success returns a
+// valid Socket and stores the actually-bound port in `*bound_port`; on
+// failure returns an invalid Socket and explains in `*err`.
+[[nodiscard]] Socket listen_loopback(uint16_t port, int backlog,
+                                     uint16_t* bound_port, std::string* err);
+
+// Blocking connect to 127.0.0.1:`port`.
+[[nodiscard]] Socket connect_loopback(uint16_t port, std::string* err);
+
+}  // namespace subword::service

@@ -419,7 +419,8 @@ TEST(TiledPipeline, ConcurrentStreamsShareOneCache) {
 // -- Engine-level contention counters ----------------------------------------
 
 TEST(SessionOptions, BoundedQueueAppliesBackpressure) {
-  Session session(Session::Options{.workers = 1, .queue_capacity = 2});
+  Session session(
+      Session::Options{.workers = 1, .queue_capacity = 2, .cache = nullptr});
   const auto* cc = kernels::find_kernel_info("Color Convert");
   const size_t kTiles = 8;
   const auto frame =
