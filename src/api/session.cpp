@@ -10,7 +10,8 @@ Session::Session(SessionOptions opts)
           .queue_capacity = opts.queue_capacity,
           .cache = std::move(opts.cache),
           .shed_queue_depth = opts.shed_queue_depth,
-          .shed_max_block_ns = opts.shed_max_block_ns}) {}
+          .shed_max_block_ns = opts.shed_max_block_ns,
+          .explore_rate = opts.explore_rate}) {}
 
 Session::~Session() = default;  // ~BatchEngine drains
 

@@ -106,32 +106,24 @@ std::shared_ptr<const Plan> OrchestrationCache::get_or_plan(
     entry = it->second;
   }
 
-  // Exactly-once planning per key, same discipline as get_or_prepare:
-  // racing callers block on the winner, then share its decision.
-  bool ran_factory = false;
-  std::call_once(entry->once, [&] {
-    ran_factory = true;
-    try {
-      entry->plan = std::make_shared<const Plan>(factory());
-    } catch (...) {
-      entry->error = std::current_exception();
-    }
-  });
-
-  if (entry->error) {
-    {
-      std::unique_lock lock(mu_);
-      auto it = plans_.find(key);
-      if (it != plans_.end() && it->second == entry) plans_.erase(it);
-    }
-    plan_misses_.fetch_add(1, std::memory_order_relaxed);
-    std::rethrow_exception(entry->error);
-  }
-  if (ran_factory) {
-    plan_misses_.fetch_add(1, std::memory_order_relaxed);
-  } else {
+  // Exactly-once planning per key *per history epoch*: racing callers
+  // serialize on the entry mutex — the first to find the stored decision
+  // absent or stale re-runs the factory, later callers that read the same
+  // epoch share its product without replanning. The epoch is read before
+  // planning, so history advancing mid-plan makes the next lookup replan
+  // rather than trusting a decision computed on partial data.
+  std::unique_lock entry_lock(entry->mu);
+  const uint64_t epoch_now = history_.epoch();
+  if (entry->plan != nullptr && entry->epoch == epoch_now) {
     plan_hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry->plan;
   }
+  plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  // A factory throw leaves any previous decision in place (stale is
+  // better than absent for the *next* caller, who will retry anyway) and
+  // propagates to this caller only.
+  entry->plan = std::make_shared<const Plan>(factory());
+  entry->epoch = epoch_now;
   return entry->plan;
 }
 
@@ -142,6 +134,9 @@ CacheStats OrchestrationCache::stats() const {
   s.plan_hits = plan_hits_.load(std::memory_order_relaxed);
   s.plan_misses = plan_misses_.load(std::memory_order_relaxed);
   s.lock_wait_ns = lock_wait_ns_.load(std::memory_order_relaxed);
+  s.history_entries = history_.size();
+  s.history_invalidations = history_.invalidations();
+  s.history_epoch = history_.epoch();
   {
     std::shared_lock lock(mu_);
     s.entries = map_.size();
@@ -151,6 +146,7 @@ CacheStats OrchestrationCache::stats() const {
 }
 
 void OrchestrationCache::clear() {
+  history_.clear();
   std::unique_lock lock(mu_);
   map_.clear();
   plans_.clear();

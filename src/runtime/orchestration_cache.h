@@ -23,6 +23,7 @@
 
 #include "core/orchestrator.h"
 #include "kernels/runner.h"
+#include "runtime/history.h"
 #include "runtime/planner.h"
 
 namespace subword::runtime {
@@ -150,6 +151,14 @@ struct CacheStats {
   // hits+misses means the shared_mutex hot path is what flattens worker
   // scaling (see bench_runtime_throughput's worker sweep).
   uint64_t lock_wait_ns = 0;
+  // Observed-execution history (runtime/history.h): distinct shapes with
+  // recorded measurements, drift resets suffered, and the epoch cached
+  // plans are validated against. plan_misses includes epoch-driven
+  // re-plans, so a growing history shows up as extra misses here, not as
+  // silently stale decisions.
+  uint64_t history_entries = 0;
+  uint64_t history_invalidations = 0;
+  uint64_t history_epoch = 0;
 
   [[nodiscard]] double hit_rate() const {
     const uint64_t total = hits + misses;
@@ -179,10 +188,20 @@ class OrchestrationCache {
 
   // The planning analogue of get_or_prepare: resolves `key` to a stored
   // planner decision, invoking `factory` exactly once per unique key
-  // across all threads and sessions sharing this cache. Errors propagate
-  // to every waiter and the entry is dropped for retry.
+  // across all threads and sessions sharing this cache — per history
+  // epoch: a stored decision computed before the history table's epoch
+  // advanced (a key crossed a sample threshold, or drifted) is stale and
+  // the factory re-runs, which is how measurements reach plans that were
+  // memoized cold. Errors propagate to the caller; the stored decision
+  // (if any) is kept for the next attempt.
   [[nodiscard]] std::shared_ptr<const Plan> get_or_plan(
       const PlanKey& key, const PlanFactory& factory);
+
+  // Observed-execution history shared by every engine on this cache. The
+  // engine records into it after each successful job; the planner reads
+  // it through PlanOptions::history.
+  [[nodiscard]] HistoryTable& history() { return history_; }
+  [[nodiscard]] const HistoryTable& history() const { return history_; }
 
   [[nodiscard]] CacheStats stats() const;
 
@@ -200,10 +219,13 @@ class OrchestrationCache {
     std::shared_ptr<const kernels::PreparedProgram> published;
   };
 
+  // Unlike Entry, plan memoization is epoch-scoped, so once_flag (one shot
+  // ever) cannot express it: the entry mutex serializes (re)planning per
+  // key while concurrent fresh readers share the stored decision.
   struct PlanEntry {
-    std::once_flag once;
-    std::shared_ptr<const Plan> plan;
-    std::exception_ptr error;
+    std::mutex mu;
+    std::shared_ptr<const Plan> plan;  // null until first success
+    uint64_t epoch = 0;                // history epoch `plan` was computed at
   };
 
   mutable std::shared_mutex mu_;
@@ -212,6 +234,7 @@ class OrchestrationCache {
       map_;
   std::unordered_map<PlanKey, std::shared_ptr<PlanEntry>, PlanKeyHash>
       plans_;
+  HistoryTable history_;
   // Atomic so the hot hit path never takes the exclusive lock.
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

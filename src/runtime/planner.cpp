@@ -76,6 +76,7 @@ std::vector<PlanCandidate> score_candidates(const kernels::MediaKernel& k,
     PlanCandidate base;
     base.use_spu = false;
     base.est_benefit = 0;
+    base.score = 0;
     if (!executable_on(opts, k, false, kernels::SpuMode::Auto, core::kConfigA,
                        &base.note)) {
       base.feasible = false;
@@ -127,6 +128,7 @@ std::vector<PlanCandidate> score_candidates(const kernels::MediaKernel& k,
     // MMIO prologue runs once (the paper's amortization argument).
     c.est_benefit = c.report.removed_dynamic * repeats -
                     c.startup_instructions;
+    c.score = c.est_benefit;
     if (c.removed_static == 0) {
       c.note = "analysis removes no permutation under this config";
     }
@@ -192,6 +194,7 @@ std::vector<PlanCandidate> score_candidates(const kernels::MediaKernel& k,
                           fraction * static_cast<double>(dyn_permutations))) *
                           repeats -
                       c.startup_instructions;
+      c.score = c.est_benefit;
       if (c.removed_static == 0) {
         c.note = "manual variant removes no permutation";
       }
@@ -201,23 +204,104 @@ std::vector<PlanCandidate> score_candidates(const kernels::MediaKernel& k,
   return out;
 }
 
+void blend_with_history(const std::string& kernel, int repeats,
+                        const HistoryTable* history,
+                        std::vector<PlanCandidate>* candidates) {
+  for (auto& c : *candidates) {
+    c.score = c.est_benefit;
+    c.score_source = ScoreSource::kModel;
+    c.observed_count = 0;
+    c.observed_mean = 0;
+    c.observed_variance = 0;
+  }
+  if (history == nullptr) return;
+
+  // The baseline aggregate anchors every comparison: a candidate's
+  // measured benefit is mean(baseline) - mean(candidate), so the blend
+  // weight is bounded by the *less*-sampled side. Only simulator-cycle
+  // history participates — it shares the Table-1 model's unit; native
+  // wall-ns entries are keyed separately and never enter a cycle score.
+  const auto base = history->lookup(HistoryKey::from_shape(
+      kernel, repeats, false, kernels::SpuMode::Auto, core::kConfigA,
+      kernels::ExecBackend::kSimulator));
+  const uint64_t base_n = base ? base->count : 0;
+
+  for (auto& c : *candidates) {
+    const auto obs = history->lookup(HistoryKey::from_shape(
+        kernel, repeats, c.use_spu, c.mode, c.cfg,
+        kernels::ExecBackend::kSimulator));
+    if (obs) {
+      c.observed_count = obs->count;
+      c.observed_mean = obs->mean;
+      c.observed_variance = obs->variance;
+    }
+    if (!c.use_spu) {
+      // The baseline's benefit over itself is identically zero; only its
+      // regime (how well-measured the yardstick is) is informative.
+      c.score = 0;
+      c.score_source =
+          base ? base->regime() : ScoreSource::kModel;
+      continue;
+    }
+    const uint64_t n = std::min(base_n, c.observed_count);
+    if (n < kHistoryMinSamples) continue;  // model-only
+    const double w = std::min(
+        1.0, static_cast<double>(n) /
+                 static_cast<double>(kHistoryFullSamples));
+    const double measured = base->mean - c.observed_mean;
+    c.score = static_cast<int64_t>(std::llround(
+        (1.0 - w) * static_cast<double>(c.est_benefit) + w * measured));
+    c.score_source = n >= kHistoryFullSamples ? ScoreSource::kMeasured
+                                              : ScoreSource::kBlended;
+  }
+}
+
 Plan pick_plan(const std::string& kernel, int repeats,
                std::vector<PlanCandidate> candidates) {
   // Baseline is the incumbent: a SPU candidate must show a strictly
-  // positive net benefit to unseat it. Among winners, prefer cheaper
+  // positive net score to unseat it. Among winners, prefer cheaper
   // silicon (area, then delay) — the paper's config-D economy.
   size_t best = 0;  // candidates[0] is baseline by construction
   for (size_t i = 0; i < candidates.size(); ++i) {
     const auto& c = candidates[i];
-    if (!c.feasible || !c.use_spu || c.est_benefit <= 0) continue;
+    if (!c.feasible || !c.use_spu || c.score <= 0) continue;
     const auto& b = candidates[best];
     const bool beats =
         (!b.use_spu) ||  // incumbent is still baseline
-        c.est_benefit > b.est_benefit ||
-        (c.est_benefit == b.est_benefit &&
+        c.score > b.score ||
+        (c.score == b.score &&
          (c.area_mm2 < b.area_mm2 ||
           (c.area_mm2 == b.area_mm2 && c.delay_ns < b.delay_ns)));
     if (beats) best = i;
+  }
+
+  // The runner-up: who exploration should keep measuring. A still-cold
+  // baseline comes first (it anchors every blend), then the best distinct
+  // SPU shape that removes anything — including shapes the model scored
+  // negative: those are exactly the estimates worth falsifying.
+  std::optional<size_t> runner;
+  const PlanCandidate& winc = candidates[best];
+  if (winc.use_spu && candidates[0].feasible &&
+      candidates[0].observed_count < kHistoryFullSamples) {
+    runner = 0;
+  } else {
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      const auto& c = candidates[i];
+      if (i == best || !c.feasible || !c.use_spu || c.removed_static <= 0) {
+        continue;
+      }
+      if (!runner.has_value()) {
+        runner = i;
+        continue;
+      }
+      const auto& r = candidates[*runner];
+      if (c.score > r.score ||
+          (c.score == r.score &&
+           (c.area_mm2 < r.area_mm2 ||
+            (c.area_mm2 == r.area_mm2 && c.delay_ns < r.delay_ns)))) {
+        runner = i;
+      }
+    }
   }
 
   Plan plan;
@@ -225,6 +309,12 @@ Plan pick_plan(const std::string& kernel, int repeats,
   plan.use_spu = win.use_spu;
   plan.mode = win.mode;
   plan.cfg = win.use_spu ? win.cfg : core::kConfigA;
+  if (runner.has_value()) {
+    const auto& r = candidates[*runner];
+    plan.runner_up = PlanShape{r.use_spu, r.mode,
+                               r.use_spu ? r.cfg : core::kConfigA,
+                               kernels::ExecBackend::kSimulator};
+  }
 
   PlanSummary s;
   s.kernel = kernel;
@@ -237,6 +327,20 @@ Plan pick_plan(const std::string& kernel, int repeats,
   s.startup_instructions = win.startup_instructions;
   s.area_mm2 = win.area_mm2;
   s.delay_ns = win.delay_ns;
+  s.observed_count = win.observed_count;
+  s.observed_mean = win.observed_mean;
+  s.observed_variance = win.observed_variance;
+  // The decision is only as measured as its least-measured comparison:
+  // one cold feasible candidate means part of the field was still judged
+  // by the model alone.
+  s.score_source = ScoreSource::kMeasured;
+  for (const auto& c : candidates) {
+    if (!c.feasible) continue;
+    if (static_cast<uint8_t>(c.score_source) <
+        static_cast<uint8_t>(s.score_source)) {
+      s.score_source = c.score_source;
+    }
+  }
   if (!plan.use_spu) {
     bool any_removal = false;
     for (const auto& c : candidates) {
@@ -248,8 +352,10 @@ Plan pick_plan(const std::string& kernel, int repeats,
                          std::to_string(repeats)
                    : "baseline: no configuration removes any permutation";
   } else {
-    s.reason = win.label() + ": est " + std::to_string(win.est_benefit) +
-               " cycles saved at repeats=" + std::to_string(repeats) + " (" +
+    s.reason = win.label() + ": " + to_string(win.score_source) + " score " +
+               std::to_string(win.score) + " cycles saved at repeats=" +
+               std::to_string(repeats) + " (est " +
+               std::to_string(win.est_benefit) + ", " +
                std::to_string(win.removed_static) +
                " static permutations removed, " +
                std::to_string(win.startup_instructions) +
@@ -263,7 +369,9 @@ Plan pick_plan(const std::string& kernel, int repeats,
 
 Plan plan_kernel(const kernels::MediaKernel& k, int repeats,
                  const PlanOptions& opts) {
-  Plan plan = pick_plan(k.name(), repeats, score_candidates(k, repeats, opts));
+  std::vector<PlanCandidate> candidates = score_candidates(k, repeats, opts);
+  blend_with_history(k.name(), repeats, opts.history, &candidates);
+  Plan plan = pick_plan(k.name(), repeats, std::move(candidates));
   if (opts.backend.has_value()) {
     if (*opts.backend == kernels::ExecBackend::kNativeSwar) {
       // pick_plan falls back to baseline even when the baseline candidate
@@ -291,6 +399,24 @@ Plan plan_kernel(const kernels::MediaKernel& k, int repeats,
     }
   }
   plan.summary.backend = plan.backend;
+  // The runner-up keeps the simulator backend on purpose: exploration
+  // exists to feed *cycle* history — the only unit that blends into the
+  // model — so an explored execution must produce cycle stats. A pinned
+  // backend overrides that (the caller's pin is a contract); a pinned
+  // native backend that cannot execute the runner-up leaves nothing to
+  // explore.
+  if (plan.runner_up.has_value() && opts.backend.has_value()) {
+    auto& ru = *plan.runner_up;
+    if (*opts.backend == kernels::ExecBackend::kNativeSwar) {
+      const auto* info = kernels::find_kernel_info(k.name());
+      if (info != nullptr &&
+          info->native_supported(ru.use_spu, ru.mode, ru.cfg)) {
+        ru.backend = kernels::ExecBackend::kNativeSwar;
+      } else {
+        plan.runner_up.reset();
+      }
+    }
+  }
   return plan;
 }
 

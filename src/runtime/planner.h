@@ -41,6 +41,25 @@
 // bit-exact and within a few percent of its siblings — while the expensive
 // mistake, orchestrating when nothing is removable, is excluded exactly
 // rather than estimated (removed == 0 never scores positive).
+//
+// Since PR 9 the model is only the cold half of the decision. When
+// PlanOptions::history points at a runtime::HistoryTable (the engine
+// always passes its cache's table), blend_with_history() folds observed
+// simulator-cycle means into each candidate's score:
+//
+//     n     = min(samples(baseline), samples(candidate))
+//     w     = 0                      when n <  kHistoryMinSamples
+//           = n / kHistoryFullSamples  (clamped to 1) otherwise
+//     score = (1-w) * est_benefit + w * (mean(baseline) - mean(candidate))
+//
+// so a shape the model oversold loses its seat as soon as measurements
+// accumulate, and pick_plan decides on `score` instead of raw
+// est_benefit. Only simulator-cycle history blends — it shares the
+// model's unit (cycles); native wall-ns history is recorded and surfaced
+// but never mixed into a cycle-denominated score. The decision's
+// provenance is summarized as PlanSummary::score_source: the *least*
+// measured feasible comparison in the field (a plan is only as measured
+// as the candidates it compared).
 #pragma once
 
 #include <cstdint>
@@ -52,6 +71,7 @@
 #include "core/orchestrator.h"
 #include "hw/cost_model.h"
 #include "kernels/runner.h"
+#include "runtime/history.h"
 
 namespace subword::runtime {
 
@@ -75,6 +95,10 @@ struct PlanOptions {
   // Pin the execution backend instead of letting the planner choose.
   // Candidates the pinned backend cannot execute become infeasible.
   std::optional<kernels::ExecBackend> backend;
+  // Observed-execution history to blend into the scores (see the header
+  // comment). Null: pure Table-1 model, the pre-PR-9 behaviour. The
+  // pointee must outlive the planning call; it is not retained.
+  const HistoryTable* history = nullptr;
 };
 
 // One scored point in the decision space. Baseline is the candidate with
@@ -90,8 +114,18 @@ struct PlanCandidate {
   int removed_static = 0;         // static permutations this choice deletes
   int64_t startup_instructions = 0;  // injected MMIO/GO work per execution
   // Estimated dynamic cycles saved at the requested repeat count, net of
-  // startup. The decision variable: <= 0 never beats baseline.
+  // startup. Pure model output, kept for the audit trail.
   int64_t est_benefit = 0;
+  // The decision variable pick_plan compares: est_benefit blended with
+  // observed history per the header formula (== est_benefit when history
+  // is cold or absent). <= 0 never beats baseline.
+  int64_t score = 0;
+  ScoreSource score_source = ScoreSource::kModel;
+  // This shape's observed simulator-cycle aggregate at blend time
+  // (count == 0: never measured).
+  uint64_t observed_count = 0;
+  double observed_mean = 0;
+  double observed_variance = 0;
   double area_mm2 = 0;            // Table-1 price of this config
   double delay_ns = 0;
 
@@ -112,10 +146,25 @@ struct PlanSummary {
   int64_t startup_instructions = 0;
   double area_mm2 = 0;
   double delay_ns = 0;
+  // Decision provenance: how much of the winning comparison was measured
+  // rather than modeled (the least-measured feasible candidate's regime),
+  // plus the winner's own observed aggregate.
+  ScoreSource score_source = ScoreSource::kModel;
+  uint64_t observed_count = 0;
+  double observed_mean = 0;
+  double observed_variance = 0;
   std::string reason;                     // human-readable why
   std::vector<PlanCandidate> candidates;  // the full scored field
 
   [[nodiscard]] std::string choice_label() const;
+};
+
+// An executable shape without the audit trail — what exploration swaps in.
+struct PlanShape {
+  bool use_spu = false;
+  kernels::SpuMode mode = kernels::SpuMode::Auto;
+  core::CrossbarConfig cfg = core::kConfigA;
+  kernels::ExecBackend backend = kernels::ExecBackend::kSimulator;
 };
 
 // What the engine executes. `summary` carries the audit trail.
@@ -125,6 +174,12 @@ struct Plan {
   core::CrossbarConfig cfg = core::kConfigA;
   kernels::ExecBackend backend = kernels::ExecBackend::kSimulator;
   PlanSummary summary;
+  // The second-best feasible shape, kept for exploration: with
+  // Session::Options::explore_rate > 0 the engine occasionally executes
+  // this instead of the winner so its history keeps accumulating and a
+  // model mistake cannot fossilize. Absent when the field has no distinct
+  // worthwhile runner-up.
+  std::optional<PlanShape> runner_up;
 };
 
 // Score the full candidate field for one kernel at one repeat count:
@@ -134,12 +189,21 @@ struct Plan {
 [[nodiscard]] std::vector<PlanCandidate> score_candidates(
     const kernels::MediaKernel& k, int repeats, const PlanOptions& opts);
 
+// Fold observed history into a scored field in place (see the header
+// formula). Each candidate's score starts as est_benefit and shifts
+// toward (baseline mean - candidate mean) as simulator-cycle samples
+// accumulate for both sides; observed_* fields are filled from the table
+// regardless of regime. No-op beyond defaults when `history` is null.
+void blend_with_history(const std::string& kernel, int repeats,
+                        const HistoryTable* history,
+                        std::vector<PlanCandidate>* candidates);
+
 // Pure decision core (unit-testable without a kernel): pick the feasible
-// candidate with the highest positive est_benefit; ties resolve toward
+// candidate with the highest positive score; ties resolve toward
 // cheaper area, then lower delay, then candidate order. When no feasible
 // candidate scores positive — in particular when no config removes any
 // permutation — the plain baseline wins. The backend on the returned Plan
-// is simulator; plan_kernel() finalizes it.
+// is simulator; plan_kernel() finalizes it (including the runner-up's).
 [[nodiscard]] Plan pick_plan(const std::string& kernel, int repeats,
                              std::vector<PlanCandidate> candidates);
 

@@ -209,6 +209,15 @@ constexpr uint8_t kFlagAreaBudget = 1u << 0;
 constexpr uint8_t kFlagDelayBudget = 1u << 1;
 constexpr uint8_t kKnownFlags = kFlagAreaBudget | kFlagDelayBudget;
 
+// Response flag bits (the byte that was has_plan before PR 9 — bit 0
+// keeps its old meaning, so a plain plan response is byte-identical).
+// Optional plan provenance fields ride behind the remaining bits.
+constexpr uint8_t kRespFlagPlan = 1u << 0;
+constexpr uint8_t kRespFlagObserved = 1u << 1;  // plan observed stats follow
+constexpr uint8_t kRespFlagExplored = 1u << 2;  // runner-up was executed
+constexpr uint8_t kKnownRespFlags =
+    kRespFlagPlan | kRespFlagObserved | kRespFlagExplored;
+
 }  // namespace
 
 uint8_t error_code_to_wire(api::ErrorCode code) {
@@ -283,11 +292,22 @@ void encode_response(const WireResponse& resp, std::vector<uint8_t>* out) {
     put_u64(&body, resp.stats.instructions);
     put_u64(&body, resp.stats.prepare_ns);
     put_u64(&body, resp.stats.execute_ns);
-    put_u8(&body, resp.has_plan ? 1 : 0);
+    uint8_t flags = 0;
+    const bool observed = resp.has_plan && resp.plan.has_observed;
+    if (resp.has_plan) flags |= kRespFlagPlan;
+    if (observed) flags |= kRespFlagObserved;
+    if (resp.explored) flags |= kRespFlagExplored;
+    put_u8(&body, flags);
     if (resp.has_plan) {
       put_u8(&body, static_cast<uint8_t>(resp.plan.mode));
       put_u8(&body, resp.plan.config);
       put_u8(&body, static_cast<uint8_t>(resp.plan.backend));
+      put_u8(&body, resp.plan.score_source);
+    }
+    if (observed) {
+      put_u64(&body, resp.plan.observed_count);
+      put_f64(&body, resp.plan.observed_mean);
+      put_f64(&body, resp.plan.observed_variance);
     }
     put_bytes(&body, resp.output);
   } else {
@@ -401,7 +421,18 @@ ProtoResult<WireResponse> decode_response(std::span<const uint8_t> body) {
     resp.stats.instructions = r.u64("instructions");
     resp.stats.prepare_ns = r.u64("prepare_ns");
     resp.stats.execute_ns = r.u64("execute_ns");
-    resp.has_plan = r.u8("has_plan") != 0;
+    const uint8_t flags = r.u8("response flags");
+    if (!r.failed() && (flags & ~kKnownRespFlags) != 0) {
+      r.fail(ProtoCode::kBadFlags,
+             "unknown response flag bits 0x" +
+                 std::to_string(flags & ~kKnownRespFlags));
+    }
+    resp.has_plan = (flags & kRespFlagPlan) != 0;
+    resp.explored = (flags & kRespFlagExplored) != 0;
+    if (!r.failed() && (flags & kRespFlagObserved) != 0 && !resp.has_plan) {
+      r.fail(ProtoCode::kBadFlags,
+             "observed-stats flag without a plan decision");
+    }
     if (resp.has_plan) {
       const uint8_t pm = r.u8("plan mode");
       if (!r.failed() && pm >= static_cast<uint8_t>(WireMode::kPlan)) {
@@ -419,6 +450,18 @@ ProtoResult<WireResponse> decode_response(std::span<const uint8_t> body) {
                "plan decision backend byte " + std::to_string(pb));
       }
       resp.plan.backend = static_cast<WireBackend>(pb);
+      resp.plan.score_source = r.u8("plan score source");
+      if (!r.failed() && resp.plan.score_source > kWireScoreSourceMax) {
+        r.fail(ProtoCode::kBadEnum,
+               "plan score source byte " +
+                   std::to_string(resp.plan.score_source));
+      }
+      resp.plan.has_observed = (flags & kRespFlagObserved) != 0;
+      if (resp.plan.has_observed) {
+        resp.plan.observed_count = r.u64("observed count");
+        resp.plan.observed_mean = r.f64("observed mean");
+        resp.plan.observed_variance = r.f64("observed variance");
+      }
     }
     resp.output = r.bytes("output");
   } else if (!r.failed()) {

@@ -165,11 +165,22 @@ struct WireStats {
   uint64_t execute_ns = 0;
 };
 
+// Where a plan's decision variable came from, on the wire: 0 model,
+// 1 blended, 2 measured (mirrors runtime::ScoreSource; kBadEnum above 2).
+inline constexpr uint8_t kWireScoreSourceMax = 2;
+
 // The planner's decision for kPlan requests (mirrors Response::plan).
 struct WirePlan {
   WireMode mode = WireMode::kBaseline;  // never kPlan in a decision
   uint8_t config = 0;
   WireBackend backend = WireBackend::kSimulator;  // never kAuto
+  uint8_t score_source = 0;  // 0 model / 1 blended / 2 measured
+  // Observed history of the chosen shape, present only once it has been
+  // measured (kRespFlagObserved in the response flags byte).
+  bool has_observed = false;
+  uint64_t observed_count = 0;
+  double observed_mean = 0;      // cycles (sim) or wall-ns (native)
+  double observed_variance = 0;
 };
 
 struct WireResponse {
@@ -183,6 +194,9 @@ struct WireResponse {
   WireStats stats;
   bool has_plan = false;
   WirePlan plan;
+  // This execution was sampled for exploration (the server ran the plan's
+  // runner-up shape to refresh its measurement history).
+  bool explored = false;
   std::vector<uint8_t> output;
 };
 

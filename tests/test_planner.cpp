@@ -58,6 +58,7 @@ runtime::PlanCandidate auto_candidate(const core::CrossbarConfig& cfg,
   c.cfg = cfg;
   c.removed_static = removed;
   c.est_benefit = benefit;
+  c.score = benefit;  // what blend_with_history would set on cold history
   const auto cost = hw::estimate_cost(cfg);
   c.area_mm2 = cost.crossbar_area_mm2 + cost.control_mem_area_mm2;
   c.delay_ns = cost.crossbar_delay_ns;
@@ -242,19 +243,32 @@ TEST(PlannerCache, ConcurrentSessionsPlanOnceAndAgree) {
   }
   EXPECT_EQ(choices.size(), 1u) << "identical PlanKeys must agree";
 
+  // Every planned job records a measurement, and the history epoch bumps
+  // when a key crosses the min/full sample thresholds (and on drift
+  // invalidations, which wall-clock jitter can trigger on the native
+  // backend) — each bump makes the next lookup replan. So misses are no
+  // longer exactly 1: the initial plan, one per threshold crossing, plus
+  // possibly a few drift-driven replans. They must stay rare, every
+  // replan must reach the same choice (asserted above), and hits +
+  // misses must account for every request against the single entry.
   const auto stats = cache->stats();
-  EXPECT_EQ(stats.plan_misses, 1u)
-      << "one planning miss across both sessions";
-  EXPECT_EQ(stats.plan_hits, 2u * kPerSession - 1);
+  EXPECT_GE(stats.plan_misses, 1u);
+  EXPECT_LE(stats.plan_misses, 8u)
+      << "replans should be rare: one per history-epoch bump";
+  EXPECT_EQ(stats.plan_hits + stats.plan_misses, 2u * kPerSession);
   EXPECT_EQ(stats.plan_entries, 1u);
 
-  // Different repeats or budgets are different PlanKeys.
+  // Different repeats or budgets are different PlanKeys: exactly one new
+  // miss each (a single fresh sample can't cross a threshold, so no epoch
+  // bump rides along).
+  const auto misses_before = stats.plan_misses;
   auto r2 = a.request("FIR22").repeats(16).auto_plan().run();
   ASSERT_TRUE(r2.ok()) << r2.error().to_string();
-  EXPECT_EQ(cache->stats().plan_misses, 2u);
+  EXPECT_EQ(cache->stats().plan_misses, misses_before + 1);
   auto r3 = a.request("FIR22").repeats(8).area_budget_mm2(3.0).run();
   ASSERT_TRUE(r3.ok()) << r3.error().to_string();
-  EXPECT_EQ(cache->stats().plan_misses, 3u);
+  EXPECT_EQ(cache->stats().plan_misses, misses_before + 2);
+  EXPECT_EQ(cache->stats().plan_entries, 3u);
 }
 
 TEST(PlannerCache, PlannedJobsShareThePreparedProgramCache) {

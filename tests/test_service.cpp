@@ -115,6 +115,12 @@ TEST(Protocol, ResponseRoundTripsStatsPlanAndOutput) {
   resp.plan.mode = WireMode::kManualSpu;
   resp.plan.config = 3;
   resp.plan.backend = WireBackend::kNativeSwar;
+  resp.plan.score_source = 2;  // measured
+  resp.plan.has_observed = true;
+  resp.plan.observed_count = 12;
+  resp.plan.observed_mean = 1234.5;
+  resp.plan.observed_variance = 6.25;
+  resp.explored = true;
   resp.output = {9, 8, 7};
 
   std::vector<uint8_t> frame;
@@ -132,7 +138,79 @@ TEST(Protocol, ResponseRoundTripsStatsPlanAndOutput) {
   EXPECT_EQ(decoded->plan.mode, WireMode::kManualSpu);
   EXPECT_EQ(decoded->plan.config, 3);
   EXPECT_EQ(decoded->plan.backend, WireBackend::kNativeSwar);
+  EXPECT_EQ(decoded->plan.score_source, 2);
+  EXPECT_TRUE(decoded->plan.has_observed);
+  EXPECT_EQ(decoded->plan.observed_count, 12u);
+  EXPECT_DOUBLE_EQ(decoded->plan.observed_mean, 1234.5);
+  EXPECT_DOUBLE_EQ(decoded->plan.observed_variance, 6.25);
+  EXPECT_TRUE(decoded->explored);
   EXPECT_EQ(decoded->output, (std::vector<uint8_t>{9, 8, 7}));
+}
+
+TEST(Protocol, ResponseWithoutObservedStatsStaysMinimal) {
+  // A cold-history plan carries no observed block — the flags byte must
+  // say so and decoding must leave the observed fields zeroed.
+  WireResponse resp;
+  resp.request_id = 1;
+  resp.status = WireStatus::kOk;
+  resp.has_plan = true;
+  resp.plan.mode = WireMode::kAutoOrchestrate;
+  resp.plan.config = 0;
+  resp.plan.backend = WireBackend::kSimulator;
+  resp.plan.score_source = 0;  // model
+
+  std::vector<uint8_t> frame;
+  service::encode_response(resp, &frame);
+  const auto decoded =
+      service::decode_response(std::span<const uint8_t>(frame).subspan(4));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_TRUE(decoded->has_plan);
+  EXPECT_EQ(decoded->plan.score_source, 0);
+  EXPECT_FALSE(decoded->plan.has_observed);
+  EXPECT_EQ(decoded->plan.observed_count, 0u);
+  EXPECT_FALSE(decoded->explored);
+}
+
+TEST(Protocol, ResponseFlagAndScoreSourceValidationIsTyped) {
+  WireResponse resp;
+  resp.request_id = 5;
+  resp.status = WireStatus::kOk;
+  resp.has_plan = true;
+  resp.plan.mode = WireMode::kAutoOrchestrate;
+  resp.plan.backend = WireBackend::kSimulator;
+  std::vector<uint8_t> good;
+  service::encode_response(resp, &good);
+  // Body layout up to the flags byte: header (7) + request_id u64 (8) +
+  // status u8 (1) + stats (two u8 + four u64 = 34) = byte 50 of the body.
+  constexpr size_t kFlagsOffset = 4 + 50;  // +4: frame length prefix
+  ASSERT_EQ(good[kFlagsOffset], 1u) << "plan flag expected where assumed";
+
+  {  // an unknown flag bit is kBadFlags, not silently ignored
+    auto bad = good;
+    bad[kFlagsOffset] |= 1u << 3;
+    const auto r =
+        service::decode_response(std::span<const uint8_t>(bad).subspan(4));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ProtoCode::kBadFlags);
+  }
+  {  // observed stats promised without a plan decision is kBadFlags
+    auto bad = good;
+    bad[kFlagsOffset] = 1u << 1;
+    const auto r =
+        service::decode_response(std::span<const uint8_t>(bad).subspan(4));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ProtoCode::kBadFlags);
+  }
+  {  // a score_source beyond the enum range is kBadEnum
+    WireResponse out_of_range = resp;
+    out_of_range.plan.score_source = service::kWireScoreSourceMax + 1;
+    std::vector<uint8_t> frame;
+    service::encode_response(out_of_range, &frame);
+    const auto r =
+        service::decode_response(std::span<const uint8_t>(frame).subspan(4));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ProtoCode::kBadEnum);
+  }
 }
 
 TEST(Protocol, ErrorCodeWireMappingIsABijection) {
@@ -409,6 +487,32 @@ TEST_F(ServiceRoundTrip, PlanModeReturnsTheDecision) {
   EXPECT_TRUE(r.response.has_plan);
   EXPECT_NE(r.response.plan.mode, WireMode::kPlan);
   EXPECT_NE(r.response.plan.backend, WireBackend::kAuto);
+  // First-ever request against a fresh server: history is cold, so the
+  // decision is model-sourced and carries no observed block, and a
+  // default tenant (explore_rate 0) never marks a response explored.
+  EXPECT_LE(r.response.plan.score_source, service::kWireScoreSourceMax);
+  EXPECT_EQ(r.response.plan.score_source, 0) << "cold history is model-only";
+  EXPECT_FALSE(r.response.plan.has_observed);
+  EXPECT_FALSE(r.response.explored);
+
+  // Once the executed shape accumulates samples, responses surface the
+  // observed aggregate over the wire. Pin the simulator backend: only
+  // cycle history (not native wall-ns) enters the planner's blend.
+  req.backend = WireBackend::kSimulator;
+  for (uint64_t id = 100; id < 110; ++id) {
+    req.request_id = id;
+    const auto again = client.call(req);
+    ASSERT_TRUE(again.transport_ok) << again.transport_error;
+    ASSERT_EQ(again.response.status, WireStatus::kOk);
+  }
+  req.request_id = 110;
+  const auto warmed = client.call(req);
+  ASSERT_TRUE(warmed.transport_ok) << warmed.transport_error;
+  ASSERT_EQ(warmed.response.status, WireStatus::kOk);
+  ASSERT_TRUE(warmed.response.has_plan);
+  EXPECT_TRUE(warmed.response.plan.has_observed);
+  EXPECT_GE(warmed.response.plan.observed_count, 3u);
+  EXPECT_GT(warmed.response.plan.observed_mean, 0.0);
 }
 
 TEST_F(ServiceRoundTrip, ApiErrorsComeBackTyped) {
